@@ -1,0 +1,48 @@
+"""Ablation: serial link count (Table I: 4 full-duplex links).
+
+Memory-side prefetching's premise is that row transfers use internal TSVs
+and never the external links; this bench confirms the external links are not
+the bottleneck at Table I provisioning (so the schemes differentiate on
+internal behaviour), and shows what happens when links are scarce.
+"""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.system import System, SystemConfig
+from repro.workloads.mixes import mix
+
+LINKS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def traces(experiment_config):
+    refs = min(experiment_config.refs_per_core, 3000)
+    return mix("HM1", refs, seed=experiment_config.seed)
+
+
+def test_ablation_link_count(benchmark, traces):
+    def sweep():
+        out = {}
+        for n in LINKS:
+            cfg = HMCConfig(links=n)
+            out[n] = System(
+                traces, SystemConfig(hmc=cfg, scheme="camps-mod"), workload="HM1"
+            ).run()
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nAblation: serial link count (HM1, CAMPS-MOD)")
+    print(f"{'links':>6} {'cycles':>10} {'latency':>9} {'link util':>10}")
+    for n, r in results.items():
+        print(
+            f"{n:>6} {r.cycles:>10} {r.mean_read_latency:>9.0f} "
+            f"{r.link_utilization:>10.2%}"
+        )
+
+    # fewer links -> higher per-link utilization and no faster execution
+    assert results[1].link_utilization > results[4].link_utilization
+    assert results[1].cycles >= results[4].cycles
+    # Table I's 4 links leave headroom: doubling them buys <5%
+    assert results[8].cycles >= results[4].cycles * 0.95

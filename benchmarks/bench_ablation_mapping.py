@@ -1,0 +1,54 @@
+"""Ablation: physical address mapping order.
+
+The paper fixes RoRaBaVaCo (row : rank : bank : vault : column), which keeps
+all 16 lines of a DRAM row in one vault - the property whole-row prefetching
+depends on - while interleaving consecutive blocks across vaults for
+parallelism.  This bench compares alternative orders under CAMPS-MOD.
+"""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.system import System, SystemConfig
+from repro.workloads.mixes import mix
+
+ORDERS = ["RoBaVaCo", "RoVaBaCo", "RoVaCoBa"]
+
+
+@pytest.fixture(scope="module")
+def refs(experiment_config):
+    return min(experiment_config.refs_per_core, 3000)
+
+
+def test_ablation_address_mapping(benchmark, refs, experiment_config):
+    # The program's byte addresses are fixed (generated under the paper
+    # mapping, i.e. "what the software does"); each variant changes only how
+    # the cube decodes those same addresses into (vault, bank, row, column).
+    traces = mix("HM1", refs, seed=experiment_config.seed)
+
+    def sweep():
+        out = {}
+        for order in ORDERS:
+            cfg = HMCConfig(address_mapping=order)
+            out[order] = {
+                s: System(
+                    traces, SystemConfig(hmc=cfg, scheme=s), workload="HM1"
+                ).run()
+                for s in ("base", "camps-mod")
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nAblation: address mapping order (HM1, CAMPS-MOD)")
+    print(f"{'order':<10} {'speedup':>9} {'conflicts':>10} {'accuracy':>9}")
+    for order, r in results.items():
+        spd = r["camps-mod"].speedup_vs(r["base"])
+        print(
+            f"{order:<10} {spd:>9.3f} {r['camps-mod'].conflict_rate:>10.3f} "
+            f"{r['camps-mod'].row_accuracy:>9.2f}"
+        )
+
+    # CAMPS-MOD must beat BASE under every row-local mapping.
+    for order, r in results.items():
+        assert r["camps-mod"].speedup_vs(r["base"]) > 1.0, order

@@ -1,0 +1,61 @@
+"""Extension: feedback-throttled CAMPS (camps-fdp) vs plain CAMPS-MOD.
+
+CAMPS-MOD's conflict-table trigger can be fooled by pointer-chasing phases
+(rows conflicted once and never revisited); camps-fdp suspends the CT
+trigger while measured accuracy is low.  On the paper's mixes the two should
+be near-identical (accuracy is high, throttling never engages); on
+pointer-heavy homogeneous workloads the throttled variant should issue fewer
+useless fetches at equal or better performance.
+"""
+
+import pytest
+
+from repro.system import System, SystemConfig
+from repro.workloads.mixes import mix
+from repro.workloads.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def refs(experiment_config):
+    return min(experiment_config.refs_per_core, 2500)
+
+
+def test_extension_fdp(benchmark, refs, experiment_config):
+    seed = experiment_config.seed
+
+    def sweep():
+        out = {}
+        # the paper's mixed workload: throttling should stay out of the way
+        traces = mix("HM1", refs, seed=seed)
+        out["HM1 (paper mix)"] = {
+            s: System(traces, SystemConfig(scheme=s), workload="HM1").run()
+            for s in ("camps-mod", "camps-fdp")
+        }
+        # adversarial pointer chasing: 8 x mcf
+        traces = [
+            generate_trace("mcf", refs, seed=seed * 10 + i, core_id=i)
+            for i in range(8)
+        ]
+        out["mcf x8 (pointer)"] = {
+            s: System(traces, SystemConfig(scheme=s), workload="mcf8").run()
+            for s in ("camps-mod", "camps-fdp")
+        }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nExtension: CAMPS-FDP (throttled CT) vs CAMPS-MOD")
+    print(f"{'workload':<18}{'scheme':<11}{'ipc':>8}{'prefetches':>11}{'accuracy':>9}")
+    for wl, r in results.items():
+        for s, res in r.items():
+            print(
+                f"{wl:<18}{s:<11}{res.geomean_ipc:>8.3f}"
+                f"{res.prefetches_issued:>11}{res.row_accuracy:>9.2f}"
+            )
+
+    for wl, r in results.items():
+        mod, fdp = r["camps-mod"], r["camps-fdp"]
+        # throttling never hurts meaningfully...
+        assert fdp.geomean_ipc >= mod.geomean_ipc * 0.97, wl
+        # ...and never issues more prefetches
+        assert fdp.prefetches_issued <= mod.prefetches_issued, wl

@@ -1,0 +1,31 @@
+"""Figure 5: normalized speedup of each scheme over BASE.
+
+Paper headline: CAMPS-MOD outperforms BASE by 17.9% on average (HM 24.9%,
+LM 9.4%, MX 19.6%), BASE-HIT by 16.8%, and MMD by 8.7%.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure5
+
+
+def test_fig5_normalized_speedup(benchmark, paper_matrix, results_dir, full_scale):
+    data = benchmark.pedantic(
+        lambda: figure5(paper_matrix), rounds=1, iterations=1
+    )
+    emit(data, results_dir, "fig5_speedup")
+
+    # Shape assertions that hold at any scale.
+    avg = data.summary["AVG"]
+    assert avg["camps-mod"] > avg["base-hit"]
+    assert avg["camps-mod"] > 1.0
+    # CAMPS-MOD's gain over BASE lands in the paper's neighbourhood.
+    assert 1.03 < avg["camps-mod"] < 1.45
+    if not full_scale:
+        return
+    # Strict cross-scheme ordering only at calibrated scale.
+    assert avg["camps-mod"] > avg["mmd"] > 1.0
+    assert avg["camps-mod"] == max(avg.values())
+    # HM gains exceed LM gains (paper Section 5.1).
+    if "HM" in data.summary and "LM" in data.summary:
+        assert data.summary["HM"]["camps-mod"] > data.summary["LM"]["camps-mod"]

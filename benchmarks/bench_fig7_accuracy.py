@@ -1,0 +1,34 @@
+"""Figure 7: prefetching accuracy per scheme.
+
+Paper headline: CAMPS-MOD reaches 70.5% average accuracy, beating BASE by
+33.3 points, BASE-HIT by 28.4 and MMD by 4.1; CAMPS alone sits ~1.5 points
+below MMD, which is what motivates the utilization+recency buffer policy.
+
+Known deviation (see EXPERIMENTS.md): with synthetic traffic, BASE-HIT's few
+queue-confirmed prefetches are almost always revisited, so its accuracy is
+higher here than the paper's 42%.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure7
+
+
+def test_fig7_prefetch_accuracy(benchmark, paper_matrix, results_dir):
+    data = benchmark.pedantic(
+        lambda: figure7(paper_matrix), rounds=1, iterations=1
+    )
+    emit(data, results_dir, "fig7_accuracy")
+    # the line-level variant (fairer to the line-granular MMD scheme)
+    line = figure7(paper_matrix, line_level=True)
+    emit(line, results_dir, "fig7_accuracy_lines")
+
+    avg = data.summary["AVG"]
+    # Indiscriminate (BASE) and line-degree (MMD, judged at row granularity)
+    # schemes sit at the bottom; the CAMPS family is far more accurate.
+    bottom_two = sorted(avg, key=avg.get)[:2]
+    assert set(bottom_two) <= {"base", "mmd"}
+    assert avg["camps"] > avg["base"] + 0.2
+    assert avg["camps-mod"] > avg["base"] + 0.2
+    # CAMPS-MOD's replacement policy does not cost accuracy vs plain CAMPS.
+    assert avg["camps-mod"] >= avg["camps"] - 0.05

@@ -1,0 +1,22 @@
+"""Figure 9: HMC energy normalized to BASE.
+
+Paper headline: MMD and CAMPS-MOD consume 6.0% and 8.5% less energy than
+BASE respectively, mainly through fewer activate/precharge operations.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure9
+
+
+def test_fig9_energy(benchmark, paper_matrix, results_dir):
+    data = benchmark.pedantic(
+        lambda: figure9(paper_matrix), rounds=1, iterations=1
+    )
+    emit(data, results_dir, "fig9_energy")
+
+    avg = data.summary["AVG"]
+    assert avg["base"] == 1.0
+    assert avg["camps-mod"] < 1.0  # saves energy vs BASE
+    assert avg["camps-mod"] < avg["mmd"]  # and more than MMD
+    assert avg["camps-mod"] > 0.6  # not implausibly large savings

@@ -1,0 +1,93 @@
+"""Microbenchmarks of the simulator's hot components.
+
+These time the substrate pieces in isolation (pytest-benchmark's normal
+multi-round statistics apply here, unlike the single-shot figure benches),
+which is how regressions in the event loop or buffer operations show up
+before they blur into whole-simulation numbers.
+"""
+
+import numpy as np
+
+from repro.core.buffer import LRUPolicy, PrefetchBuffer, UtilizationRecencyPolicy
+from repro.cpu.cache import Cache, CacheParams
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.timing import DRAMTimings
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+from repro.sim.engine import Engine
+from repro.workloads.synthetic import generate_trace
+
+FULL = 0xFFFF
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        eng = Engine()
+
+        def chain(n):
+            if n:
+                eng.schedule(1, chain, n - 1)
+
+        eng.schedule(0, chain, 10_000)
+        eng.run()
+        return eng.events_fired
+
+    fired = benchmark(run_events)
+    assert fired == 10_001
+
+
+def test_bank_access_throughput(benchmark):
+    t = DRAMTimings()
+
+    def run_accesses():
+        bank = Bank(0, t)
+        for i in range(5_000):
+            bank.access(AccessKind.READ, i % 7, bank.busy_until)
+        return bank.demand_accesses
+
+    assert benchmark(run_accesses) == 5_000
+
+
+def test_buffer_lookup_insert_throughput(benchmark):
+    def churn():
+        buf = PrefetchBuffer(16, 16, UtilizationRecencyPolicy())
+        for i in range(5_000):
+            buf.lookup(i % 4, i % 24, i % 16, i % 3 == 0)
+            if i % 3 == 0:
+                buf.insert(i % 4, i % 24, FULL, i, i)
+        return buf.hits + buf.misses
+
+    assert benchmark(churn) == 5_000
+
+
+def test_cache_access_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    addrs = rng.integers(0, 1 << 22, size=20_000).tolist()
+
+    def churn():
+        c = Cache(CacheParams("L2", 256 * 1024, 4, 64, 6))
+        for a in addrs:
+            if not c.lookup(a, False):
+                c.allocate(a, False)
+        return c.accesses
+
+    assert benchmark(churn) == 20_000
+
+
+def test_address_decode_vectorized(benchmark):
+    m = AddressMapping(HMCConfig())
+    rng = np.random.default_rng(5)
+    addrs = rng.integers(0, 1 << 36, size=200_000)
+
+    def decode():
+        v, b, r, c = m.decode_many(addrs)
+        return int(v.sum())
+
+    benchmark(decode)
+
+
+def test_trace_generation_throughput(benchmark):
+    def gen():
+        return len(generate_trace("gems", 20_000, seed=11))
+
+    assert benchmark(gen) == 20_000

@@ -1,0 +1,67 @@
+"""Simulator scaling characteristics (engineering regression guard).
+
+Measures how simulation wall time and event counts scale with trace length
+and core count under the default scheme.  Not a paper experiment - this is
+the harness that catches accidental O(n^2) regressions in the event loop,
+queues, or buffer bookkeeping.
+"""
+
+import time
+
+import pytest
+
+from repro.system import System, SystemConfig
+from repro.workloads.synthetic import generate_trace
+
+
+def _run(n_cores, refs, seed=1):
+    traces = [
+        generate_trace("gems", refs, seed=seed + i, core_id=i)
+        for i in range(n_cores)
+    ]
+    sysm = System(traces, SystemConfig(scheme="camps-mod"), workload="scale")
+    t0 = time.perf_counter()
+    result = sysm.run()
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def test_scaling_with_trace_length(benchmark):
+    def sweep():
+        out = {}
+        for refs in (500, 1000, 2000):
+            result, wall = _run(2, refs)
+            out[refs] = (result.extra["events_fired"], wall)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nScaling with trace length (2 cores)")
+    print(f"{'refs':>6}{'events':>10}{'events/ref':>12}{'wall (s)':>10}")
+    for refs, (events, wall) in results.items():
+        print(f"{refs:>6}{events:>10}{events / (2 * refs):>12.1f}{wall:>10.3f}")
+
+    # events per reference must stay bounded (no superlinear blowup);
+    # the event-driven design targets a handful of events per request.
+    ratios = [ev / (2 * refs) for refs, (ev, _) in results.items()]
+    assert max(ratios) < 12
+    assert max(ratios) / min(ratios) < 1.5  # near-linear scaling
+
+
+def test_scaling_with_core_count(benchmark):
+    def sweep():
+        out = {}
+        for cores in (1, 2, 4, 8):
+            result, wall = _run(cores, 800)
+            out[cores] = (result.extra["events_fired"], wall)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nScaling with core count (800 refs/core)")
+    print(f"{'cores':>6}{'events':>10}{'events/ref':>12}{'wall (s)':>10}")
+    for cores, (events, wall) in results.items():
+        print(f"{cores:>6}{events:>10}{events / (cores * 800):>12.1f}{wall:>10.3f}")
+
+    per_ref = [ev / (c * 800) for c, (ev, _) in results.items()]
+    assert max(per_ref) < 12

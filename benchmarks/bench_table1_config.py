@@ -1,0 +1,19 @@
+"""Table I: the experimental configuration, printed from the live defaults
+so any drift between the paper's parameters and the code is visible."""
+
+from repro.experiments.tables import table1_text
+from repro.hmc.config import HMCConfig
+
+
+def test_table1_configuration(benchmark):
+    text = benchmark.pedantic(table1_text, rounds=1, iterations=1)
+    print()
+    print(text)
+
+    cfg = HMCConfig()
+    assert cfg.vaults == 32
+    assert cfg.banks_per_vault == 16
+    assert cfg.pf_buffer_bytes == 16 * 1024
+    assert cfg.pf_hit_latency == 22
+    assert (cfg.timings.trcd, cfg.timings.trp, cfg.timings.tcl) == (11, 11, 11)
+    assert cfg.links == 4 and cfg.link_lanes == 16

@@ -1,0 +1,22 @@
+"""Table II: the twelve eight-core mixes, with the measured MPKI of every
+synthetic constituent confirming the paper's HM / LM classification."""
+
+from repro.experiments.tables import table2_text
+from repro.workloads.spec import PROFILES
+from repro.workloads.synthetic import generate_trace
+
+
+def test_table2_workloads(benchmark):
+    text = benchmark.pedantic(
+        lambda: table2_text(measure_mpki=True, refs=4000), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+
+    # The realized MPKI of every benchmark must land in its paper class.
+    for name, prof in PROFILES.items():
+        measured = generate_trace(name, 4000, seed=1).mpki
+        if prof.memory_intensity == "HM":
+            assert measured >= 15, f"{name}: measured {measured:.1f}, expected HM"
+        else:
+            assert 0.5 <= measured < 20, f"{name}: measured {measured:.1f}, expected LM"

@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale knobs (environment):
+
+* ``REPRO_REFS``  - memory references per core per mix (default 4000).
+* ``REPRO_SEED``  - trace seed (default 1).
+* ``REPRO_MIXES`` - comma-separated subset of Table II mixes (default: all 12).
+* ``REPRO_CACHE`` - simulation summary cache path ("off" to disable).
+
+The five paper schemes over the selected mixes are simulated once per session
+(and cached on disk across sessions); every figure bench reads from that
+shared matrix, so the full `pytest benchmarks/ --benchmark-only` run costs
+one grid simulation plus the ablations.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import FIG5_SCHEMES
+from repro.experiments.runner import ExperimentConfig, run_matrix
+from repro.workloads.mixes import mix_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def selected_mixes():
+    raw = os.environ.get("REPRO_MIXES")
+    if not raw:
+        return mix_names()
+    names = [m.strip() for m in raw.split(",") if m.strip()]
+    unknown = [m for m in names if m not in mix_names()]
+    if unknown:
+        raise ValueError(f"unknown mixes in REPRO_MIXES: {unknown}")
+    return names
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def mixes():
+    return selected_mixes()
+
+
+@pytest.fixture(scope="session")
+def paper_matrix(experiment_config, mixes):
+    """The (mixes x 5 paper schemes) result grid every figure reads."""
+    return run_matrix(mixes, FIG5_SCHEMES, experiment_config, progress=True)
+
+
+@pytest.fixture(scope="session")
+def full_scale(experiment_config):
+    """True when running at or above the calibrated reference scale.
+
+    The paper-shape assertions (who beats whom) are only guaranteed at
+    REPRO_REFS >= 3000; quick runs below that still print every table but
+    skip the strict cross-scheme ordering checks.
+    """
+    return experiment_config.refs_per_core >= 3000
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(figure_data, results_dir, name):
+    """Print a figure table and persist it as CSV."""
+    from repro.metrics.report import write_csv
+
+    print()
+    print(figure_data.text())
+    write_csv(
+        figure_data.per_workload,
+        figure_data.schemes,
+        results_dir / f"{name}.csv",
+        summary=figure_data.summary,
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Full-hierarchy mode: raw reference streams through L1/L2/L3 into the HMC.
+
+The figure experiments drive the cube with post-LLC miss traces (that is the
+level the paper's statistics live at), but the library also models the whole
+Table I cache hierarchy.  This example builds a raw reference stream with a
+cache-friendly hot set plus a streaming component, runs it through the full
+hierarchy, and reports per-level hit rates, the realized LLC MPKI, and how
+the prefetching scheme below the caches still matters for what misses.
+
+Run:  python examples/cache_mode.py
+"""
+
+import numpy as np
+
+from repro import run_system
+from repro.workloads.trace import Trace
+
+
+def make_raw_trace(n: int, seed: int) -> Trace:
+    """A raw (pre-cache) reference stream: 70% hot-set reuse that caches
+    will absorb, 30% streaming that will miss through to memory."""
+    rng = np.random.default_rng(seed)
+    hot_lines = np.arange(512) * 64  # 32 KB hot set, fits in L1/L2
+    refs = np.empty(n, dtype=np.int64)
+    stream_cursor = 1 << 24
+    for i in range(n):
+        if rng.random() < 0.7:
+            refs[i] = hot_lines[rng.integers(len(hot_lines))]
+        else:
+            refs[i] = stream_cursor
+            stream_cursor += 64
+    gaps = rng.geometric(1 / 4.0, size=n).astype(np.int64) - 1
+    writes = rng.random(n) < 0.25
+    return Trace(gaps, refs, writes, name=f"raw.c{seed}")
+
+
+def main() -> None:
+    traces = [make_raw_trace(6000, seed=i) for i in range(4)]
+
+    print("running raw traces through the full L1/L2/L3 hierarchy...\n")
+    for scheme in ("none", "camps-mod"):
+        r = run_system(traces, scheme=scheme, workload="raw", use_caches=True)
+        print(f"scheme={scheme}")
+        print(f"  cycles            {r.cycles}")
+        print(f"  geomean IPC       {r.geomean_ipc:.3f}")
+        print(f"  LLC hit rate      {r.extra['llc_hit_rate']:.1%}")
+        llc_mpki = 1000 * r.extra["llc_misses"] / sum(r.core_instructions)
+        print(f"  LLC MPKI          {llc_mpki:.1f}")
+        print(f"  memory reads/writes reaching the cube: "
+              f"{r.demand_accesses + r.buffer_hits}")
+        if scheme != "none":
+            print(f"  prefetch accuracy {r.row_accuracy:.1%}")
+        print()
+
+    print(
+        "The caches absorb the hot set; only the streaming component reaches "
+        "the HMC,\nwhere CAMPS-MOD turns its row locality into prefetch "
+        "buffer hits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Plug a custom prefetching scheme into the vault controller.
+
+The scheme interface is three methods (see :mod:`repro.core.prefetcher`);
+this example implements a simple *next-row* prefetcher - on every bank
+access it stages the sequentially next DRAM row of the same bank - registers
+it under a new name, and races it against CAMPS-MOD on a streaming workload.
+
+A next-row scheme looks clever for pure streams but pays heavily on
+irregular traffic; the output shows both sides.
+
+Run:  python examples/custom_prefetcher.py
+"""
+
+from typing import List
+
+from repro import generate_trace, run_system
+from repro.core.prefetcher import PrefetchAction, Prefetcher
+from repro.core.schemes import SCHEMES
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+
+class NextRowPrefetcher(Prefetcher):
+    """Stage the next row of the bank whenever a row is activated."""
+
+    name = "next-row"
+
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        if outcome is RowOutcome.HIT:
+            return []  # only prefetch on activations
+        assert self.controller is not None
+        buf = self.controller.buffer
+        if buf is not None and (bank, row + 1) in buf:
+            return []
+        return self._count_issue(
+            [PrefetchAction(bank, row + 1, self.full_mask, precharge_after=True)]
+        )
+
+
+def main() -> None:
+    # Register the new scheme; it is now usable anywhere a scheme name is.
+    SCHEMES["next-row"] = NextRowPrefetcher
+
+    workloads = {
+        "streaming (lbm-like)": [
+            generate_trace("lbm", 4000, seed=i, core_id=i) for i in range(4)
+        ],
+        "irregular (mcf-like)": [
+            generate_trace("mcf", 4000, seed=i, core_id=i) for i in range(4)
+        ],
+    }
+
+    for label, traces in workloads.items():
+        results = {
+            s: run_system(traces, scheme=s, workload=label)
+            for s in ("base", "next-row", "camps-mod")
+        }
+        base = results["base"]
+        print(f"\n{label}")
+        print(f"{'scheme':<11}{'speedup':>9}{'accuracy':>10}{'prefetches':>12}")
+        print("-" * 42)
+        for s, r in results.items():
+            print(
+                f"{s:<11}{r.speedup_vs(base):>9.3f}"
+                f"{r.row_accuracy:>10.1%}{r.prefetches_issued:>12}"
+            )
+
+    print(
+        "\nThe next-row scheme guesses; CAMPS-MOD waits for evidence "
+        "(row utilization or repeated conflicts), which is why its accuracy "
+        "holds up on the irregular workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload mix under two prefetching schemes.
+
+This is the 60-second tour of the public API:
+
+1. generate the paper's HM1 mix (Table II) at laptop scale,
+2. simulate it on the Table I HMC under BASE and CAMPS-MOD,
+3. print the headline comparison (Figure 5's metric for one mix).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import mix, run_system
+
+
+def main() -> None:
+    # Eight per-core traces for the HM1 mix: bwaves, gems, gcc, lbm (x2 each).
+    # 5000 post-LLC references per core keeps this under a minute.
+    traces = mix("HM1", refs_per_core=5000, seed=1)
+    print(f"generated {len(traces)} core traces, "
+          f"{sum(len(t) for t in traces)} references total")
+    for t in traces[:4]:
+        print(f"  {t.name}: mpki={t.mpki:.1f} writes={t.write_fraction:.0%}")
+
+    print("\nsimulating BASE (whole-row prefetch on every access)...")
+    base = run_system(traces, scheme="base", workload="HM1")
+
+    print("simulating CAMPS-MOD (conflict-aware + utilization/recency buffer)...")
+    camps = run_system(traces, scheme="camps-mod", workload="HM1")
+
+    print(f"\n{'metric':<28}{'BASE':>12}{'CAMPS-MOD':>12}")
+    rows = [
+        ("geomean IPC", f"{base.geomean_ipc:.3f}", f"{camps.geomean_ipc:.3f}"),
+        ("row-buffer conflict rate", f"{base.conflict_rate:.3f}", f"{camps.conflict_rate:.3f}"),
+        ("prefetch accuracy", f"{base.row_accuracy:.1%}", f"{camps.row_accuracy:.1%}"),
+        ("mean read latency (cyc)", f"{base.mean_read_latency:.0f}", f"{camps.mean_read_latency:.0f}"),
+        ("HMC energy (uJ)", f"{base.energy_pj / 1e6:.1f}", f"{camps.energy_pj / 1e6:.1f}"),
+    ]
+    for name, b, c in rows:
+        print(f"{name:<28}{b:>12}{c:>12}")
+
+    speedup = camps.speedup_vs(base)
+    print(f"\nCAMPS-MOD speedup over BASE: {speedup:.3f}x "
+          f"(paper reports 1.249x for HM workloads at full scale)")
+
+
+if __name__ == "__main__":
+    main()

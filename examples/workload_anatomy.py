@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Anatomy of the synthetic SPEC-like workloads.
+
+For each benchmark class, this script runs the fast functional row-buffer
+analyzer (no full simulation) and prints exactly the statistics CAMPS's two
+mechanisms key on:
+
+* mean distinct lines per row visit and the fraction of visits reaching the
+  RUT threshold of 4 (the utilization trigger), and
+* the number of rows that get conflicted out and then revisited (the
+  Conflict Table's catchable set).
+
+Note how the aliased multi-stream sweeps make the CT path dominant: bursts
+switch rows after 2-4 lines, so few visits reach the RUT threshold in place,
+but thousands of rows are conflicted-then-revisited - exactly the population
+the Conflict Table converts into whole-row prefetches.
+
+Run:  python examples/workload_anatomy.py
+"""
+
+from repro.workloads.analysis import analyze_mix, analyze_row_buffer
+from repro.workloads.spec import PROFILES
+from repro.workloads.synthetic import generate_trace
+
+SHOW = ["lbm", "bwaves", "gems", "gcc", "mcf", "omnetpp", "h264ref", "astar"]
+
+
+def main() -> None:
+    print(f"{'bench':<9}{'class':>6}{'mpki':>7}{'hit%':>7}{'conf%':>7}"
+          f"{'visit util':>11}{'rut4%':>7}{'ct rows':>8}")
+    print("-" * 62)
+    for bench in SHOW:
+        trace = generate_trace(bench, 8000, seed=1)
+        p = analyze_row_buffer(trace)
+        prof = PROFILES[bench]
+        print(
+            f"{bench:<9}{prof.memory_intensity:>6}{trace.mpki:>7.1f}"
+            f"{p.hit_rate:>7.1%}{p.conflict_rate:>7.1%}"
+            f"{p.mean_visit_utilization:>11.1f}"
+            f"{p.rut_trigger_fraction():>7.1%}{p.conflict_revisit_rows:>8}"
+        )
+
+    print("\nMultiprogrammed interleaving (gems x 4 cores):")
+    traces = [generate_trace("gems", 4000, seed=i, core_id=i) for i in range(4)]
+    solo = analyze_row_buffer(traces[0])
+    merged = analyze_mix(traces)
+    print(f"  single core : {solo.summary()}")
+    print(f"  interleaved : {merged.summary()}")
+    print(
+        "\nStreaming codes (lbm, bwaves) keep row-buffer hit rates high and "
+        "leave a large\nconflict-revisit population for the CT; pointer codes "
+        "(mcf, astar) show\nsingle-line visits and few catchable rows - CAMPS "
+        "correctly leaves them alone\nwhile BASE fetches a whole row for every "
+        "touch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (no wheel available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CAMPS: Conflict-Aware Memory-Side Prefetching for the Hybrid "
+        "Memory Cube (ICPP 2018) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

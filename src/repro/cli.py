@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``     simulate one Table II mix under one scheme and print the summary
+``figure``  regenerate one of the paper's figures (5-9) as a table/CSV
+``table``   print Table I (configuration) or Table II (workload mixes)
+``schemes`` list the registered prefetching schemes
+``trace``   generate a synthetic benchmark trace and print its statistics
+
+Examples::
+
+    python -m repro run HM1 --scheme camps-mod --refs 5000
+    python -m repro figure 5 --mixes HM1,LM1 --refs 3000 --csv fig5.csv
+    python -m repro table 1
+    python -m repro trace lbm --refs 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.schemes import PAPER_SCHEMES, scheme_names
+from repro.experiments.figures import (
+    FIG5_SCHEMES,
+    FIG6_SCHEMES,
+    FIG8_SCHEMES,
+    FIG9_SCHEMES,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.experiments.runner import ExperimentConfig, run_cell, run_matrix
+from repro.experiments.tables import table1_text, table2_text
+from repro.metrics.report import write_csv
+from repro.workloads.mixes import mix_names
+from repro.workloads.spec import PROFILES
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import trace_stats
+
+_FIGURES = {
+    "5": (figure5, FIG5_SCHEMES),
+    "6": (figure6, FIG6_SCHEMES),
+    "7": (figure7, FIG5_SCHEMES),
+    "8": (figure8, ["base"] + list(FIG8_SCHEMES)),
+    "9": (figure9, FIG9_SCHEMES),
+}
+
+
+def _parse_mixes(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return mix_names()
+    names = [m.strip() for m in raw.split(",") if m.strip()]
+    unknown = [m for m in names if m not in mix_names()]
+    if unknown:
+        raise SystemExit(f"unknown mixes: {', '.join(unknown)}")
+    return names
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(refs_per_core=args.refs, seed=args.seed)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = _experiment_config(args)
+    result = run_cell(args.mix, args.scheme, cfg)
+    print(f"{args.mix} / {args.scheme} ({cfg.refs_per_core} refs/core, seed {cfg.seed})")
+    print(f"  cycles              {result.cycles}")
+    print(f"  geomean IPC         {result.geomean_ipc:.3f}")
+    print(f"  per-core IPC        {', '.join(f'{i:.2f}' for i in result.core_ipc)}")
+    print(f"  conflict rate       {result.conflict_rate:.3f}")
+    print(f"  prefetches issued   {result.prefetches_issued}")
+    print(f"  prefetch accuracy   {result.row_accuracy:.1%} (rows) / "
+          f"{result.line_accuracy:.1%} (lines)")
+    print(f"  mean read latency   {result.mean_read_latency:.0f} cycles")
+    print(f"  HMC energy          {result.energy_pj / 1e6:.1f} uJ")
+    if args.baseline and args.baseline != args.scheme:
+        base = run_cell(args.mix, args.baseline, cfg)
+        print(f"  speedup vs {args.baseline:<9} {result.speedup_vs(base):.3f}x")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    fig_fn, schemes = _FIGURES[args.number]
+    mixes = _parse_mixes(args.mixes)
+    cfg = _experiment_config(args)
+    # Every figure's schemes are a subset of the fig-5 set; running the full
+    # set keeps the cache warm across figure invocations.
+    matrix = run_matrix(mixes, FIG5_SCHEMES, cfg, progress=not args.quiet)
+    data = fig_fn(matrix)
+    print(data.text())
+    if args.chart:
+        from repro.metrics.plot import summary_bars
+
+        baseline = 1.0 if args.number in ("5", "9") else None
+        print()
+        print(
+            summary_bars(
+                data.summary, data.schemes, f"{data.figure} (summary)",
+                baseline=baseline,
+            )
+        )
+    if args.csv:
+        path = write_csv(data.per_workload, data.schemes, args.csv, summary=data.summary)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    if args.number == "1":
+        print(table1_text())
+    else:
+        print(table2_text(measure_mpki=args.measure, refs=args.refs, seed=args.seed))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    mixes = _parse_mixes(args.mixes)
+    cfg = _experiment_config(args)
+    matrix = run_matrix(mixes, FIG5_SCHEMES, cfg, progress=not args.quiet)
+    note = (
+        f"Scale: {cfg.refs_per_core} post-LLC references per core, "
+        f"seed {cfg.seed}, mixes: {', '.join(mixes)}."
+    )
+    report = generate_report(matrix, scale_note=note)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Fast end-to-end self-check: tiny simulations across every scheme,
+    asserting the structural invariants a correct install must satisfy."""
+    from repro.system import run_system
+    from repro.workloads.synthetic import generate_trace
+
+    traces = [generate_trace("gems", 400, seed=i, core_id=i) for i in range(2)]
+    failures = []
+    base_result = None
+    for scheme in scheme_names():
+        try:
+            r = run_system(traces, scheme=scheme, workload="selftest")
+            assert r.cycles > 0, "no cycles"
+            assert all(i > 0 for i in r.core_ipc), "zero IPC"
+            assert 0.0 <= r.row_accuracy <= 1.0, "accuracy out of range"
+            if scheme == "base":
+                assert r.row_conflicts == 0, "BASE must have zero conflicts"
+                base_result = r
+            if scheme == "none":
+                assert r.prefetches_issued == 0, "none must not prefetch"
+            # determinism
+            r2 = run_system(traces, scheme=scheme, workload="selftest")
+            assert r2.cycles == r.cycles, "nondeterministic"
+            print(f"  {scheme:<10} ok  (cycles={r.cycles}, "
+                  f"ipc={r.geomean_ipc:.3f})")
+        except AssertionError as e:
+            failures.append((scheme, str(e)))
+            print(f"  {scheme:<10} FAILED: {e}")
+    if base_result is not None:
+        camps = run_system(traces, scheme="camps-mod", workload="selftest")
+        print(f"  camps-mod speedup over base: "
+              f"{camps.speedup_vs(base_result):.3f}x")
+    if failures:
+        print(f"selftest FAILED: {len(failures)} scheme(s)")
+        return 1
+    print("selftest passed")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import Sweep
+
+    values = []
+    for raw in args.values.split(","):
+        raw = raw.strip()
+        try:
+            values.append(int(raw))
+        except ValueError:
+            try:
+                values.append(float(raw))
+            except ValueError:
+                values.append(raw)
+    sweep = Sweep(args.knob, values)
+    result = sweep.run(
+        args.mix,
+        scheme=args.scheme,
+        refs_per_core=args.refs,
+        seed=args.seed,
+        baseline_scheme=args.baseline or None,
+    )
+    print(result.text())
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    print("registered prefetching schemes:")
+    for name in scheme_names():
+        marker = "*" if name in PAPER_SCHEMES else " "
+        print(f"  {marker} {name}")
+    print("(* = evaluated in the paper's figures)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.benchmark not in PROFILES:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r}; "
+            f"available: {', '.join(sorted(PROFILES))}"
+        )
+    trace = generate_trace(args.benchmark, args.refs, seed=args.seed)
+    stats = trace_stats(trace)
+    prof = PROFILES[args.benchmark]
+    print(f"{args.benchmark}: {args.refs} references, seed {args.seed}")
+    print(f"  class               {prof.memory_intensity} (target MPKI {prof.mpki})")
+    for key, fmt in [
+        ("mpki", "{:.1f}"),
+        ("write_fraction", "{:.1%}"),
+        ("footprint_bytes", "{:,.0f}"),
+        ("distinct_rows", "{:,.0f}"),
+        ("lines_per_row", "{:.1f}"),
+        ("row_switch_rate", "{:.2f}"),
+    ]:
+        print(f"  {key:<19} {fmt.format(stats[key])}")
+    if args.out:
+        trace.save(args.out)
+        print(f"  saved to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAMPS (ICPP 2018) reproduction - simulate, regenerate figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one mix under one scheme")
+    p_run.add_argument("mix", choices=mix_names())
+    p_run.add_argument("--scheme", default="camps-mod", choices=scheme_names())
+    p_run.add_argument("--baseline", default="base", choices=scheme_names())
+    p_run.add_argument("--refs", type=int, default=4000)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=sorted(_FIGURES))
+    p_fig.add_argument("--mixes", help="comma-separated subset (default: all 12)")
+    p_fig.add_argument("--refs", type=int, default=4000)
+    p_fig.add_argument("--seed", type=int, default=1)
+    p_fig.add_argument("--csv", help="also write the table to this CSV path")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="also render a terminal bar chart of the summary")
+    p_fig.add_argument("--quiet", action="store_true")
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_tab = sub.add_parser("table", help="print Table I or II")
+    p_tab.add_argument("number", choices=["1", "2"])
+    p_tab.add_argument("--measure", action="store_true",
+                       help="Table II: measure constituent MPKI")
+    p_tab.add_argument("--refs", type=int, default=2000)
+    p_tab.add_argument("--seed", type=int, default=1)
+    p_tab.set_defaults(fn=cmd_table)
+
+    p_sw = sub.add_parser("sweep", help="sweep one configuration knob")
+    p_sw.add_argument("knob", help="HMCConfig field, 'timings.<field>' or "
+                      "'scheme:<CampsParams field>'")
+    p_sw.add_argument("values", help="comma-separated values, e.g. 4,8,16")
+    p_sw.add_argument("--mix", default="HM1", choices=mix_names())
+    p_sw.add_argument("--scheme", default="camps-mod", choices=scheme_names())
+    p_sw.add_argument("--baseline", default="base")
+    p_sw.add_argument("--refs", type=int, default=2500)
+    p_sw.add_argument("--seed", type=int, default=1)
+    p_sw.set_defaults(fn=cmd_sweep)
+
+    p_rep = sub.add_parser(
+        "report", help="measured-vs-paper markdown report over all figures"
+    )
+    p_rep.add_argument("--mixes", help="comma-separated subset (default: all 12)")
+    p_rep.add_argument("--refs", type=int, default=4000)
+    p_rep.add_argument("--seed", type=int, default=1)
+    p_rep.add_argument("--out", help="write the report to this file")
+    p_rep.add_argument("--quiet", action="store_true")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_st = sub.add_parser("selftest", help="fast end-to-end install check")
+    p_st.set_defaults(fn=cmd_selftest)
+
+    p_s = sub.add_parser("schemes", help="list prefetching schemes")
+    p_s.set_defaults(fn=cmd_schemes)
+
+    p_tr = sub.add_parser("trace", help="generate and inspect a synthetic trace")
+    p_tr.add_argument("benchmark")
+    p_tr.add_argument("--refs", type=int, default=10_000)
+    p_tr.add_argument("--seed", type=int, default=1)
+    p_tr.add_argument("--out", help="save the trace as .npz")
+    p_tr.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro table 1 | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

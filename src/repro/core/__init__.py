@@ -1,0 +1,52 @@
+"""The paper's contribution: conflict-aware memory-side prefetching.
+
+This package contains everything that lives in a vault controller's prefetch
+engine:
+
+* :mod:`repro.core.tables` - the Row Utilization Table (RUT, one entry per
+  bank) and the Conflict Table (CT, 32 fully-associative entries per vault).
+* :mod:`repro.core.buffer` - the 16-entry row-granularity prefetch buffer and
+  its replacement policies (LRU, and the paper's utilization+recency policy).
+* :mod:`repro.core.prefetcher` - the scheme interface the vault controller
+  drives.
+* :mod:`repro.core.camps` - CAMPS and CAMPS-MOD.
+* :mod:`repro.core.baselines` - the comparison schemes BASE, BASE-HIT and MMD.
+* :mod:`repro.core.schemes` - name -> factory registry used by experiments.
+"""
+
+from repro.core.buffer import (
+    BufferEntry,
+    LRUPolicy,
+    PrefetchBuffer,
+    ReplacementPolicy,
+    UtilizationRecencyPolicy,
+)
+from repro.core.tables import ConflictTable, RowUtilizationTable
+from repro.core.prefetcher import NullPrefetcher, PrefetchAction, Prefetcher
+from repro.core.camps import CampsParams, CampsPrefetcher
+from repro.core.baselines import BasePrefetcher, BaseHitPrefetcher, MMDPrefetcher
+from repro.core.extensions import ThrottleParams, ThrottledCampsPrefetcher
+from repro.core.schemes import SCHEMES, make_prefetcher, scheme_names
+
+__all__ = [
+    "BufferEntry",
+    "LRUPolicy",
+    "PrefetchBuffer",
+    "ReplacementPolicy",
+    "UtilizationRecencyPolicy",
+    "ConflictTable",
+    "RowUtilizationTable",
+    "NullPrefetcher",
+    "PrefetchAction",
+    "Prefetcher",
+    "CampsParams",
+    "CampsPrefetcher",
+    "BasePrefetcher",
+    "BaseHitPrefetcher",
+    "MMDPrefetcher",
+    "ThrottleParams",
+    "ThrottledCampsPrefetcher",
+    "SCHEMES",
+    "make_prefetcher",
+    "scheme_names",
+]

@@ -1,0 +1,212 @@
+"""The comparison schemes of the paper's evaluation: BASE, BASE-HIT and MMD.
+
+* **BASE** - prefetches the whole row on *every* demand access that reaches a
+  bank, then precharges.  By construction every bank access finds the bank
+  precharged, so BASE shows zero row-buffer conflicts (the paper excludes it
+  from Figure 6 for exactly this reason) - but it fetches many never-used
+  rows, giving it the worst accuracy (Figure 7) and energy (Figure 9).
+
+* **BASE-HIT** - prefetches a whole row only when two or more requests to
+  that row are visible in the vault's read queue, i.e. demand-confirmed
+  spatial locality.  Otherwise a plain open-page policy.
+
+* **MMD** - models the existing memory-side prefetcher the paper compares
+  against (Yedlapalli et al., "Meeting Midway", PACT 2013 [8]): it prefetches
+  a run of ``degree`` untouched cache lines from the currently open row and
+  adjusts ``degree`` with usefulness feedback, managing the buffer with plain
+  LRU.  Unlike BASE/CAMPS it does not precharge after prefetching - it
+  piggybacks on the open row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.prefetcher import PrefetchAction, Prefetcher
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+
+class BasePrefetcher(Prefetcher):
+    """BASE: whole-row prefetch on every bank access, precharge after."""
+
+    name = "base"
+
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        return self._count_issue(
+            [
+                PrefetchAction(
+                    bank,
+                    row,
+                    self.full_mask,
+                    precharge_after=True,
+                    seed_ref_mask=1 << column,
+                )
+            ]
+        )
+
+
+class BaseHitPrefetcher(Prefetcher):
+    """BASE-HIT: whole-row prefetch when >= ``queue_hit_threshold`` requests
+    to the row sit in the read queue (including the one being served)."""
+
+    name = "base-hit"
+
+    def __init__(
+        self, vault_id: int, config: HMCConfig, queue_hit_threshold: int = 2
+    ) -> None:
+        super().__init__(vault_id, config)
+        if queue_hit_threshold < 1:
+            raise ValueError("queue_hit_threshold must be >= 1")
+        self.queue_hit_threshold = queue_hit_threshold
+
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        assert self.controller is not None, "BASE-HIT requires bind(controller)"
+        # "Two or more hits based on the requests in the read queue": the
+        # request being served has already left the queue, so the trigger
+        # needs `queue_hit_threshold` *still-pending* same-row reads.
+        pending = self.controller.pending_row_requests(bank, row)
+        if pending >= self.queue_hit_threshold:
+            return self._count_issue(
+                [
+                    PrefetchAction(
+                        bank,
+                        row,
+                        self.full_mask,
+                        precharge_after=True,
+                        seed_ref_mask=1 << column,
+                    )
+                ]
+            )
+        return []
+
+
+@dataclass(frozen=True)
+class MMDParams:
+    """Feedback-directed degree control for the MMD scheme.
+
+    ``degree`` doubles when epoch line-accuracy exceeds ``high_watermark``
+    and halves below ``low_watermark`` (Srinath et al. HPCA'07 style
+    feedback, as adopted by the memory-side scheme of [8]).
+    """
+
+    initial_degree: int = 4
+    min_degree: int = 1
+    max_degree: int = 15
+    epoch_lines: int = 512
+    high_watermark: float = 0.60
+    low_watermark: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_degree <= self.initial_degree <= self.max_degree:
+            raise ValueError("degree bounds must satisfy min <= initial <= max")
+        if self.epoch_lines < 1:
+            raise ValueError("epoch_lines must be >= 1")
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 <= low <= high <= 1")
+
+
+class MMDPrefetcher(Prefetcher):
+    """Dynamic-degree memory-side prefetcher with an LRU buffer."""
+
+    name = "mmd"
+
+    def __init__(
+        self, vault_id: int, config: HMCConfig, params: MMDParams | None = None
+    ) -> None:
+        super().__init__(vault_id, config)
+        self.params = params or MMDParams()
+        self.degree = self.params.initial_degree
+        # epoch accounting against the buffer's cumulative line counters
+        self._epoch_lines_mark = 0
+        self._epoch_used_mark = 0
+        self.degree_increases = 0
+        self.degree_decreases = 0
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def _maybe_adjust_degree(self) -> None:
+        assert self.controller is not None
+        buf = self.controller.buffer
+        if buf is None:
+            return
+        inserted = buf.lines_inserted - self._epoch_lines_mark
+        if inserted < self.params.epoch_lines:
+            return
+        used = buf.lines_used - self._epoch_used_mark
+        accuracy = used / inserted
+        if accuracy > self.params.high_watermark:
+            new = min(self.degree * 2, self.params.max_degree)
+            if new != self.degree:
+                self.degree_increases += 1
+            self.degree = new
+        elif accuracy < self.params.low_watermark:
+            new = max(self.degree // 2, self.params.min_degree)
+            if new != self.degree:
+                self.degree_decreases += 1
+            self.degree = new
+        self._epoch_lines_mark = buf.lines_inserted
+        self._epoch_used_mark = buf.lines_used
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        assert self.controller is not None, "MMD requires bind(controller)"
+        self._maybe_adjust_degree()
+
+        lines = self.config.lines_per_row
+        already = 0
+        buf = self.controller.buffer
+        if buf is not None:
+            entry = buf.get(bank, row)
+            if entry is not None:
+                already = entry.valid_mask
+
+        # Next `degree` lines *forward* from the demanded column (streams
+        # run forward; wrapping to the row start would mostly re-stage
+        # already-consumed lines), skipping lines already staged.
+        mask = 0
+        picked = 0
+        for c in range(column + 1, lines):
+            if picked >= self.degree:
+                break
+            bit = 1 << c
+            if already & bit:
+                continue
+            mask |= bit
+            picked += 1
+        if mask == 0:
+            return []
+        return self._count_issue(
+            [PrefetchAction(bank, row, mask, precharge_after=False)]
+        )
+
+    def describe(self) -> str:
+        return f"{self.name} (degree={self.degree}, LRU buffer)"

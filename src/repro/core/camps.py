@@ -1,0 +1,177 @@
+"""CAMPS and CAMPS-MOD: the paper's conflict-aware prefetching scheme.
+
+Decision flow (paper Section 3.1 / Figure 3), implemented in
+:meth:`CampsPrefetcher.on_demand_access`:
+
+* **Row-buffer hit** - record the access in the RUT.  Once the open row has
+  served ``utilization_threshold`` (4) distinct cache lines, fetch the whole
+  row to the prefetch buffer, precharge the bank, and clear the RUT entry.
+
+* **Row-buffer conflict** - the newly activated row displaced another.  The
+  displaced row's RUT entry moves to the Conflict Table.  If the *newly
+  opened* row already has a CT entry, it has been conflicted on recently:
+  fetch it to the buffer immediately, drop its CT entry, and precharge.
+  Otherwise keep it open and start tracking it in the RUT.
+
+* **Row-buffer empty** - plain activation; start tracking in the RUT (no
+  conflict happened, so nothing moves to the CT).
+
+CAMPS-MOD is CAMPS plus the utilization+recency buffer replacement policy
+(:class:`~repro.core.buffer.UtilizationRecencyPolicy`); the decision logic is
+identical, so both are this one class parameterized by ``modified``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.buffer import (
+    LRUPolicy,
+    ReplacementPolicy,
+    UtilizationRecencyPolicy,
+)
+from repro.core.prefetcher import PrefetchAction, Prefetcher
+from repro.core.tables import ConflictTable, RowUtilizationTable
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+
+@dataclass(frozen=True)
+class CampsParams:
+    """Tunable knobs of the CAMPS decision mechanism.
+
+    Defaults are the paper's: threshold 4 distinct lines, 32 CT entries per
+    vault, distinct-line utilization counting.
+    """
+
+    utilization_threshold: int = 4
+    conflict_table_entries: int = 32
+    count_distinct: bool = True
+
+    def __post_init__(self) -> None:
+        if self.utilization_threshold < 1:
+            raise ValueError("utilization_threshold must be >= 1")
+        if self.conflict_table_entries < 1:
+            raise ValueError("conflict_table_entries must be >= 1")
+
+
+class CampsPrefetcher(Prefetcher):
+    """Conflict-aware memory-side prefetcher (CAMPS / CAMPS-MOD)."""
+
+    name = "camps"
+
+    def __init__(
+        self,
+        vault_id: int,
+        config: HMCConfig,
+        params: CampsParams | None = None,
+        modified: bool = False,
+    ) -> None:
+        super().__init__(vault_id, config)
+        self.params = params or CampsParams()
+        self.modified = modified
+        if modified:
+            self.name = "camps-mod"
+        self.rut = RowUtilizationTable(
+            banks=config.banks_per_vault,
+            count_distinct=self.params.count_distinct,
+        )
+        self.ct = ConflictTable(entries=self.params.conflict_table_entries)
+        # decision statistics (reported by experiments)
+        self.utilization_prefetches = 0
+        self.conflict_prefetches = 0
+
+    def make_policy(self) -> ReplacementPolicy:
+        return UtilizationRecencyPolicy() if self.modified else LRUPolicy()
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        if outcome is RowOutcome.HIT:
+            util = self.rut.record_access(bank, row, column, now)
+            if util >= self.params.utilization_threshold:
+                # High-utilization row: move it wholesale to the buffer and
+                # free the bank (paper: "fetches the whole row ... and
+                # precharges bank to make it ready for next request").  The
+                # lines already served from the open row seed the buffer
+                # entry's utilization counter.
+                entry = self.rut.get(bank)
+                seed = entry.line_mask if entry is not None else (1 << column)
+                self.rut.clear(bank)
+                self.utilization_prefetches += 1
+                return self._count_issue(
+                    [
+                        PrefetchAction(
+                            bank,
+                            row,
+                            self.full_mask,
+                            precharge_after=True,
+                            seed_ref_mask=seed,
+                        )
+                    ]
+                )
+            return []
+
+        if outcome is RowOutcome.CONFLICT:
+            # The row that was open lost its buffer: its utilization history
+            # moves from the RUT to the CT.
+            displaced = self.rut.replace(bank, row, now)
+            if displaced is not None:
+                self.ct.insert(bank, displaced.row, now)
+            if self.ct.check_and_remove(bank, row):
+                # This row has itself been conflicted out recently: it is
+                # conflict-prone, prefetch it now and close the bank.
+                self.rut.clear(bank)
+                self.conflict_prefetches += 1
+                return self._count_issue(
+                    [
+                        PrefetchAction(
+                            bank,
+                            row,
+                            self.full_mask,
+                            precharge_after=True,
+                            seed_ref_mask=1 << column,
+                        )
+                    ]
+                )
+            # Not (yet) conflict-prone: keep it open, track utilization.
+            self.rut.record_access(bank, row, column, now)
+            return []
+
+        # EMPTY: fresh activation of a precharged bank.
+        if self.ct.check_and_remove(bank, row):
+            self.rut.clear(bank)
+            self.conflict_prefetches += 1
+            return self._count_issue(
+                [
+                    PrefetchAction(
+                        bank,
+                        row,
+                        self.full_mask,
+                        precharge_after=True,
+                        seed_ref_mask=1 << column,
+                    )
+                ]
+            )
+        self.rut.record_access(bank, row, column, now)
+        return []
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        kind = "util+recency buffer" if self.modified else "LRU buffer"
+        return (
+            f"{self.name} (threshold={self.params.utilization_threshold}, "
+            f"CT={self.params.conflict_table_entries}, {kind})"
+        )

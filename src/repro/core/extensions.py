@@ -1,0 +1,110 @@
+"""Extension schemes beyond the paper.
+
+``camps-fdp`` - CAMPS-MOD with feedback-directed throttling (Srinath et al.,
+HPCA 2007 applied to the paper's scheme): when the measured prefetch
+accuracy of recent epochs drops below a low watermark, the conflict-table
+trigger is suspended (the riskier of CAMPS's two triggers - single-touch
+conflict rows produce its useless fetches); it resumes once accuracy
+recovers.  The RUT utilization trigger keeps running: a row that already
+served four distinct lines is near-certain to be useful.
+
+This is the kind of robustness the paper's future work gestures at: CAMPS's
+accuracy is high on the paper's workloads, but a pointer-chasing phase can
+flood the CT with never-revisited rows; throttling bounds the damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.camps import CampsParams, CampsPrefetcher
+from repro.core.prefetcher import PrefetchAction
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+
+@dataclass(frozen=True)
+class ThrottleParams:
+    """Feedback window and watermarks for CAMPS-FDP."""
+
+    epoch_rows: int = 16  # retired prefetched rows per feedback epoch
+    low_watermark: float = 0.45  # suspend the CT trigger below this
+    high_watermark: float = 0.60  # resume it above this
+
+    def __post_init__(self) -> None:
+        if self.epoch_rows < 1:
+            raise ValueError("epoch_rows must be >= 1")
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 <= low <= high <= 1")
+
+
+class ThrottledCampsPrefetcher(CampsPrefetcher):
+    """CAMPS-MOD with accuracy-feedback throttling of the CT trigger."""
+
+    name = "camps-fdp"
+
+    def __init__(
+        self,
+        vault_id: int,
+        config: HMCConfig,
+        params: CampsParams | None = None,
+        throttle: ThrottleParams | None = None,
+    ) -> None:
+        super().__init__(vault_id, config, params=params, modified=True)
+        self.name = "camps-fdp"
+        self.throttle = throttle or ThrottleParams()
+        self.ct_suspended = False
+        self.suspensions = 0
+        self.resumes = 0
+        self._epoch_used_mark = 0
+        self._epoch_unused_mark = 0
+
+    # ------------------------------------------------------------------
+    def _epoch_feedback(self) -> None:
+        assert self.controller is not None
+        buf = self.controller.buffer
+        if buf is None:
+            return
+        used = buf.rows_retired_used - self._epoch_used_mark
+        unused = buf.rows_retired_unused - self._epoch_unused_mark
+        retired = used + unused
+        if retired < self.throttle.epoch_rows:
+            return
+        accuracy = used / retired
+        if not self.ct_suspended and accuracy < self.throttle.low_watermark:
+            self.ct_suspended = True
+            self.suspensions += 1
+        elif self.ct_suspended and accuracy > self.throttle.high_watermark:
+            self.ct_suspended = False
+            self.resumes += 1
+        self._epoch_used_mark = buf.rows_retired_used
+        self._epoch_unused_mark = buf.rows_retired_unused
+
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        self._epoch_feedback()
+        actions = super().on_demand_access(bank, row, column, is_write, outcome, now)
+        if not self.ct_suspended or not actions:
+            return actions
+        # Provenance is determined by the row-buffer outcome: the RUT
+        # trigger fires only on HIT (utilization accumulates in the open
+        # row); the CT trigger fires only on EMPTY/CONFLICT activations.
+        if outcome is RowOutcome.HIT:
+            return actions  # utilization-triggered: always allowed
+        # CT-triggered while suspended: keep the table bookkeeping that
+        # already happened (warm state for the resume) but drop the fetch.
+        self.conflict_prefetches -= 1
+        self.prefetches_issued -= len(actions)
+        return []
+
+    def describe(self) -> str:
+        state = "CT suspended" if self.ct_suspended else "CT active"
+        return f"{self.name} ({state}, epoch={self.throttle.epoch_rows})"

@@ -1,0 +1,143 @@
+"""Scheme interface between a vault controller and its prefetch engine.
+
+The vault controller drives the engine through two hooks:
+
+* :meth:`Prefetcher.on_buffer_hit` - a demand access was served from the
+  prefetch buffer (no bank activity happened).
+* :meth:`Prefetcher.on_demand_access` - a demand access went to a bank; the
+  hook sees how the row buffer was found (hit / empty / conflict) and returns
+  the list of :class:`PrefetchAction` row fetches to perform.
+
+Schemes that need visibility into the controller's queues (BASE-HIT inspects
+the read queue) receive the controller via :meth:`Prefetcher.bind`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.buffer import LRUPolicy, ReplacementPolicy
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vault.controller import VaultController
+
+
+@dataclass(frozen=True)
+class PrefetchAction:
+    """One row fetch the controller should perform on the prefetcher's behalf.
+
+    ``line_mask`` selects which lines to stage (a full mask means the whole
+    row, the common case; MMD stages partial rows).  ``precharge_after``
+    mirrors the paper: CAMPS and BASE close the bank after copying the row so
+    the next access to a different row pays no conflict.
+
+    ``seed_ref_mask`` carries the row's utilization history from before the
+    fetch (lines already served from the open row buffer) into the buffer
+    entry, so the paper's utilization counter - "distinct cache lines
+    referenced within that row" - continues across the move.  CAMPS-MOD's
+    fully-consumed eviction rule depends on this continuity.
+    """
+
+    bank: int
+    row: int
+    line_mask: int
+    precharge_after: bool = True
+    seed_ref_mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.line_mask == 0:
+            raise ValueError("PrefetchAction with empty line mask")
+
+
+class Prefetcher(abc.ABC):
+    """Base class for all memory-side prefetching schemes."""
+
+    #: registry name, e.g. "camps-mod"
+    name: str = "abstract"
+    #: whether the controller should allocate a prefetch buffer at all
+    uses_buffer: bool = True
+
+    def __init__(self, vault_id: int, config: HMCConfig) -> None:
+        self.vault_id = vault_id
+        self.config = config
+        self.controller: Optional["VaultController"] = None
+        self.prefetches_issued = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, controller: "VaultController") -> None:
+        """Attach the owning vault controller (gives queue visibility)."""
+        self.controller = controller
+
+    def make_policy(self) -> ReplacementPolicy:
+        """Replacement policy for this scheme's prefetch buffer.
+
+        Every scheme in the paper except CAMPS-MOD manages the buffer with
+        plain LRU.
+        """
+        return LRUPolicy()
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_buffer_hit(
+        self, bank: int, row: int, column: int, is_write: bool, now: int
+    ) -> None:
+        """A demand access hit the prefetch buffer.  Default: no-op."""
+
+    @abc.abstractmethod
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        """A demand access was served by a bank; decide what to prefetch."""
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.config.lines_per_row) - 1
+
+    def _count_issue(self, actions: List[PrefetchAction]) -> List[PrefetchAction]:
+        self.prefetches_issued += len(actions)
+        return actions
+
+    def describe(self) -> str:
+        """One-line human-readable description for reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} vault={self.vault_id}>"
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching at all: the plain HMC without a prefetch buffer.
+
+    Not one of the paper's five compared schemes, but the natural control for
+    examples, tests and the ablation benches.
+    """
+
+    name = "none"
+    uses_buffer = False
+
+    def on_demand_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        is_write: bool,
+        outcome: RowOutcome,
+        now: int,
+    ) -> List[PrefetchAction]:
+        return []

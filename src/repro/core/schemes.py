@@ -1,0 +1,67 @@
+"""Name -> factory registry for the evaluated prefetching schemes.
+
+The five schemes of the paper's Figure 5 plus the no-prefetch control:
+
+======== =============================================================
+name      scheme
+======== =============================================================
+none      plain HMC, no prefetch buffer (control, not in the paper)
+base      whole-row prefetch on every access, LRU buffer
+base-hit  whole-row prefetch on >= 2 read-queue hits, LRU buffer
+mmd       dynamic-degree memory-side prefetcher [8], LRU buffer
+camps     conflict-aware prefetching, LRU buffer
+camps-mod conflict-aware prefetching, utilization+recency buffer
+camps-fdp camps-mod + feedback throttling of the CT trigger (extension)
+======== =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.core.baselines import BaseHitPrefetcher, BasePrefetcher, MMDPrefetcher
+from repro.core.camps import CampsPrefetcher
+from repro.core.extensions import ThrottledCampsPrefetcher
+from repro.core.prefetcher import NullPrefetcher, Prefetcher
+from repro.hmc.config import HMCConfig
+
+SchemeFactory = Callable[..., Prefetcher]
+
+SCHEMES: Dict[str, SchemeFactory] = {
+    "none": NullPrefetcher,
+    "base": BasePrefetcher,
+    "base-hit": BaseHitPrefetcher,
+    "mmd": MMDPrefetcher,
+    "camps": lambda vault_id, config, **kw: CampsPrefetcher(
+        vault_id, config, modified=False, **kw
+    ),
+    "camps-mod": lambda vault_id, config, **kw: CampsPrefetcher(
+        vault_id, config, modified=True, **kw
+    ),
+    "camps-fdp": ThrottledCampsPrefetcher,
+}
+
+#: The five schemes compared in the paper's figures, in plot order.
+PAPER_SCHEMES: List[str] = ["base", "base-hit", "mmd", "camps", "camps-mod"]
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names (deterministic order)."""
+    return list(SCHEMES.keys())
+
+
+def make_prefetcher(
+    name: str, vault_id: int, config: HMCConfig, **kwargs: Any
+) -> Prefetcher:
+    """Instantiate a prefetcher by registry name.
+
+    Extra ``kwargs`` flow to the scheme constructor (e.g. ``params=`` for
+    CAMPS ablations).
+    """
+    try:
+        factory = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; available: {', '.join(SCHEMES)}"
+        ) from None
+    return factory(vault_id, config, **kwargs)

@@ -1,0 +1,25 @@
+"""Processor-side substrate: cache hierarchy and trace-driven cores.
+
+The paper evaluates on gem5 with 8 out-of-order x86 cores and a three-level
+hierarchy (Table I).  Here the hierarchy is modeled functionally (hits cost
+fixed latencies, misses become :class:`~repro.request.MemoryRequest`s) and
+each core replays a workload trace under a reorder-buffer/MLP timing model
+that preserves how memory stalls translate into lost IPC - the quantity
+Figure 5 compares across prefetching schemes.
+"""
+
+from repro.cpu.cache import Cache, CacheParams
+from repro.cpu.mshr import MSHRFile
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyParams, HierarchyResult
+from repro.cpu.core import Core, CoreParams
+
+__all__ = [
+    "Cache",
+    "CacheParams",
+    "MSHRFile",
+    "CacheHierarchy",
+    "HierarchyParams",
+    "HierarchyResult",
+    "Core",
+    "CoreParams",
+]

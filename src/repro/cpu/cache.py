@@ -1,0 +1,160 @@
+"""Set-associative write-back cache (functional model).
+
+Caches are modeled functionally: an access either hits (cost = the level's
+fixed hit latency, applied by the hierarchy) or misses and propagates down.
+Replacement is true LRU per set, write policy is write-back/write-allocate,
+matching the gem5 classic caches the paper's Table I describes.
+
+Sets are ``OrderedDict`` tag maps: ``move_to_end`` gives O(1) LRU touch and
+``popitem(last=False)`` O(1) eviction, so a functional access is a handful of
+dict operations - cheap enough to run millions of trace records through
+three levels.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        if self.assoc < 1:
+            raise ValueError("assoc must be >= 1")
+        if self.size_bytes % (self.assoc * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size must be divisible by assoc*line_bytes"
+            )
+        if self.hit_latency < 0:
+            raise ValueError("hit_latency must be non-negative")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line displaced by an allocation."""
+
+    addr: int  # line base address
+    dirty: bool
+
+
+class Cache:
+    """One level of set-associative, write-back, write-allocate cache."""
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        if not _is_pow2(params.num_sets):
+            raise ValueError("number of sets must be a power of two")
+        self._set_mask = params.num_sets - 1
+        self._line_shift = (params.line_bytes - 1).bit_length()
+        # each set: OrderedDict mapping tag -> dirty flag, LRU order
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(params.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        return line & self._set_mask, line >> (self.params.num_sets.bit_length() - 1)
+
+    def line_base(self, addr: int) -> int:
+        return (addr >> self._line_shift) << self._line_shift
+
+    def _rebuild_addr(self, index: int, tag: int) -> int:
+        line = (tag << (self.params.num_sets.bit_length() - 1)) | index
+        return line << self._line_shift
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, is_write: bool) -> bool:
+        """Probe without allocating.  On a hit, updates LRU and dirty state."""
+        index, tag = self._index_tag(addr)
+        s = self._sets[index]
+        if tag in s:
+            s.move_to_end(tag)
+            if is_write:
+                s[tag] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def allocate(self, addr: int, dirty: bool) -> Optional[EvictedLine]:
+        """Install a line (after a miss was filled).  Returns the displaced
+        line, if any, so the caller can propagate dirty data downward."""
+        index, tag = self._index_tag(addr)
+        s = self._sets[index]
+        if tag in s:
+            # Already present (e.g. racing fills): merge dirty state.
+            s.move_to_end(tag)
+            s[tag] = s[tag] or dirty
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(s) >= self.params.assoc:
+            vtag, vdirty = s.popitem(last=False)
+            self.evictions += 1
+            if vdirty:
+                self.dirty_evictions += 1
+            victim = EvictedLine(self._rebuild_addr(index, vtag), vdirty)
+        s[tag] = dirty
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[bool]:
+        """Drop a line; returns its dirty flag or None if absent."""
+        index, tag = self._index_tag(addr)
+        return self._sets[index].pop(tag, None)
+
+    def contains(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    def is_dirty(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        return bool(self._sets[index].get(tag, False))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def occupancy(self) -> int:
+        """Resident line count (for tests and warm-up checks)."""
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.params
+        return (
+            f"<Cache {p.name} {p.size_bytes // 1024}KB/{p.assoc}w "
+            f"hr={self.hit_rate():.2%}>"
+        )

@@ -1,0 +1,231 @@
+"""Trace-driven core with a reorder-buffer/MLP timing model.
+
+The paper simulates 8 out-of-order x86 cores (4-wide, Table I) in gem5.  For
+a memory-system study the core's job is to translate memory latency into
+lost cycles faithfully; microarchitectural detail beyond that is noise.  The
+model here is the standard trace-driven interval approximation:
+
+* Non-memory instructions retire at ``issue_width`` per cycle.
+* A load enters a reorder buffer of ``rob_size`` instructions.  The core can
+  run ahead of an outstanding load by at most ``rob_size`` instructions
+  before it must stall for the load's completion - this is what makes
+  memory latency visible to IPC even at low miss rates (the paper's LM
+  workloads) while still overlapping nearby misses (memory-level parallelism
+  for the HM workloads).
+* At most ``mlp`` memory misses may be outstanding (per-core MSHR limit).
+* Stores are posted (write-buffered) and never stall the core.
+
+A core interacts with memory through a tiny adapter interface
+(:class:`MemoryPort`), so the same core drives either the full cache
+hierarchy or a post-LLC miss trace directly into the HMC.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Core timing parameters (defaults per Table I plus standard OoO sizes)."""
+
+    issue_width: int = 4
+    rob_size: int = 192
+    mlp: int = 8  # max outstanding memory misses per core
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if self.rob_size < 1:
+            raise ValueError("rob_size must be >= 1")
+        if self.mlp < 1:
+            raise ValueError("mlp must be >= 1")
+
+
+class MemoryPort(abc.ABC):
+    """What a core needs from the memory system."""
+
+    @abc.abstractmethod
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        on_fill: Callable[[MemoryRequest], None],
+    ) -> Optional[int]:
+        """Issue a load at the current engine cycle.
+
+        Returns a known completion *cycle* for accesses whose latency is
+        deterministic (cache hits), or None when the data will arrive via
+        ``on_fill`` (a memory miss).
+        """
+
+    @abc.abstractmethod
+    def store(self, core_id: int, addr: int) -> None:
+        """Issue a posted store at the current engine cycle."""
+
+
+class Core:
+    """One trace-driven core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        engine: Engine,
+        mem: MemoryPort,
+        gaps: np.ndarray,
+        addrs: np.ndarray,
+        writes: np.ndarray,
+        params: Optional[CoreParams] = None,
+        on_done: Optional[Callable[["Core"], None]] = None,
+    ) -> None:
+        if not (len(gaps) == len(addrs) == len(writes)):
+            raise ValueError("trace arrays must have equal length")
+        self.core_id = core_id
+        self.engine = engine
+        self.mem = mem
+        self.gaps = np.asarray(gaps, dtype=np.int64)
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=bool)
+        self.params = params or CoreParams()
+        self.on_done = on_done
+
+        self.n = len(self.gaps)
+        self.idx = 0
+        self.cycle = 0  # core-local time; never behind engine.now when running
+        self.instr = 0  # retired instructions
+        # outstanding loads in ROB order: [instr_no, completion_cycle | None]
+        self.outstanding: Deque[List[Optional[int]]] = deque()
+        self.pending_misses = 0
+        self._advanced = False
+        self._pending_instr = 0
+        self._waiting = False
+        self.done = False
+        self.finish_cycle: Optional[int] = None
+        # stall statistics
+        self.rob_stalls = 0
+        self.mlp_stalls = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, delay: int = 0) -> None:
+        """Begin replaying the trace ``delay`` cycles from now."""
+        self.engine.schedule(delay, self._run)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle (valid once done)."""
+        if self.finish_cycle is None or self.finish_cycle == 0:
+            return 0.0
+        return self.instr / self.finish_cycle
+
+    # ------------------------------------------------------------------
+    # Main replay loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        if self.done or self._waiting:
+            return
+        if self.engine.now > self.cycle:
+            self.cycle = self.engine.now
+        p = self.params
+        while self.idx < self.n:
+            if not self._advanced:
+                gap = int(self.gaps[self.idx])
+                self.cycle += -(-gap // p.issue_width)  # ceil division
+                self._pending_instr = self.instr + gap + 1
+                self._advanced = True
+
+            # ROB constraint: cannot run further than rob_size instructions
+            # past an incomplete load.
+            rob_limit = self._pending_instr - p.rob_size
+            blocked = False
+            while self.outstanding and self.outstanding[0][0] <= rob_limit:
+                head = self.outstanding[0]
+                if head[1] is None:
+                    self.rob_stalls += 1
+                    self._waiting = True
+                    blocked = True
+                    break
+                if head[1] > self.cycle:
+                    self.cycle = head[1]
+                self.outstanding.popleft()
+            if blocked:
+                return
+
+            # MLP constraint: bounded outstanding misses.
+            if self.pending_misses >= p.mlp:
+                self.mlp_stalls += 1
+                self._waiting = True
+                return
+
+            # Synchronize engine time with core time before touching memory.
+            if self.cycle > self.engine.now:
+                self.engine.schedule_at(self.cycle, self._run)
+                return
+
+            # Commit the record and issue its memory operation.
+            addr = int(self.addrs[self.idx])
+            is_write = bool(self.writes[self.idx])
+            self.instr = self._pending_instr
+            self.idx += 1
+            self._advanced = False
+            if is_write:
+                self.mem.store(self.core_id, addr)
+            else:
+                entry: List[Optional[int]] = [self.instr, None]
+                self.outstanding.append(entry)
+                known = self.mem.load(self.core_id, addr, self._make_fill(entry))
+                if known is not None:
+                    entry[1] = known
+                else:
+                    self.pending_misses += 1
+        self._try_finish()
+
+    def _make_fill(self, entry: List[Optional[int]]) -> Callable[[MemoryRequest], None]:
+        def fill(_req: MemoryRequest) -> None:
+            entry[1] = self.engine.now
+            self.pending_misses -= 1
+            if self._waiting:
+                self._waiting = False
+                self.stall_cycles += max(0, self.engine.now - self.cycle)
+                self.engine.schedule(0, self._run)
+            elif self.done is False and self.idx >= self.n:
+                self._try_finish()
+
+        return fill
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _try_finish(self) -> None:
+        if self.done or self.idx < self.n:
+            return
+        if any(e[1] is None for e in self.outstanding):
+            return  # a miss callback will retry
+        last = self.cycle
+        for e in self.outstanding:
+            c = e[1]
+            assert c is not None
+            if c > last:
+                last = c
+        self.outstanding.clear()
+        self.cycle = last
+        self.finish_cycle = last
+        self.done = True
+        if self.on_done is not None:
+            self.on_done(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Core {self.core_id} {self.idx}/{self.n} instr={self.instr} "
+            f"cycle={self.cycle} done={self.done}>"
+        )

@@ -1,0 +1,234 @@
+"""Three-level cache hierarchy (Table I) in front of the HMC.
+
+Private L1 (32 KB, 2-way, 2-cycle) and L2 (256 KB, 4-way, 6-cycle) per core,
+shared L3 (16 MB, 16-way, 20-cycle), 64 B lines everywhere.  Lookups are
+functional and sequential: an L3 hit costs 2+6+20 cycles of latency; an L3
+miss additionally traverses the MSHR file and becomes a memory request.
+
+Fill policy installs the line at every level (mostly-inclusive, like gem5's
+classic caches); dirty victims cascade downward and dirty L3 victims become
+posted memory writes.  Secondary misses merge in the MSHRs, and when the
+MSHR file is full the request parks in an issue queue - callers never see a
+rejection, only latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.cpu.cache import Cache, CacheParams
+from repro.cpu.mshr import MSHRFile
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine
+
+SendFn = Callable[[MemoryRequest], None]
+FillFn = Callable[[MemoryRequest], None]
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """Cache geometry; defaults are the paper's Table I."""
+
+    l1: CacheParams = field(
+        default_factory=lambda: CacheParams("L1", 32 * 1024, 2, 64, 2)
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams("L2", 256 * 1024, 4, 64, 6)
+    )
+    l3: CacheParams = field(
+        default_factory=lambda: CacheParams("L3", 16 * 1024 * 1024, 16, 64, 20)
+    )
+    mshr_capacity: int = 64
+
+    @property
+    def l1_latency(self) -> int:
+        return self.l1.hit_latency
+
+    @property
+    def l2_latency(self) -> int:
+        return self.l1.hit_latency + self.l2.hit_latency
+
+    @property
+    def l3_latency(self) -> int:
+        return self.l1.hit_latency + self.l2.hit_latency + self.l3.hit_latency
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Outcome of one hierarchy access.
+
+    ``level`` is one of ``"L1" | "L2" | "L3" | "MEM"``.  For cache hits,
+    ``latency`` is the full lookup latency and no callback will fire.  For
+    ``MEM`` the data arrives via the ``on_fill`` callback passed to
+    :meth:`CacheHierarchy.access`; ``latency`` is only the lookup time spent
+    before the request left for memory.
+    """
+
+    level: str
+    latency: int
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core, shared L3, MSHR-merged memory interface."""
+
+    def __init__(
+        self,
+        params: HierarchyParams,
+        num_cores: int,
+        engine: Engine,
+        send_fn: SendFn,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.params = params
+        self.engine = engine
+        self.send_fn = send_fn
+        self.l1: List[Cache] = [Cache(params.l1) for _ in range(num_cores)]
+        self.l2: List[Cache] = [Cache(params.l2) for _ in range(num_cores)]
+        self.l3 = Cache(params.l3)
+        self.mshrs = MSHRFile(params.mshr_capacity)
+        self._issue_queue: Deque[Tuple[int, MemoryRequest, Optional[FillFn]]] = deque()
+        # line -> (core_id, dirty) fills pending install metadata
+        self._fill_meta: Dict[int, Tuple[int, bool]] = {}
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        addr: int,
+        is_write: bool,
+        on_fill: Optional[FillFn] = None,
+    ) -> HierarchyResult:
+        """One load/store from ``core_id`` at the current engine cycle."""
+        p = self.params
+        if self.l1[core_id].lookup(addr, is_write):
+            return HierarchyResult("L1", p.l1_latency)
+        if self.l2[core_id].lookup(addr, is_write):
+            self._install_l1(core_id, addr, dirty=is_write)
+            return HierarchyResult("L2", p.l2_latency)
+        if self.l3.lookup(addr, is_write):
+            self._install_l2(core_id, addr, dirty=False)
+            self._install_l1(core_id, addr, dirty=is_write)
+            return HierarchyResult("L3", p.l3_latency)
+        # LLC miss -> memory
+        line = self.l3.line_base(addr)
+        if self.mshrs.merge(line, on_fill if on_fill is not None else _ignore):
+            return HierarchyResult("MEM", p.l3_latency)
+        req = MemoryRequest(
+            addr=line,
+            is_write=False,  # write misses fetch the line (write-allocate)
+            core_id=core_id,
+            issue_cycle=self.engine.now,
+            callback=self._fill_done,
+        )
+        self._fill_meta[line] = (core_id, is_write)
+        if self.mshrs.full:
+            self.mshrs.note_stall()
+            self._issue_queue.append((line, req, on_fill))
+        else:
+            self.mshrs.allocate(line, req, self.engine.now)
+            if on_fill is not None:
+                self.mshrs.merge(line, on_fill)
+            # The request leaves after the (sequential) lookup latency.
+            self.engine.schedule(p.l3_latency, self._send, req)
+        return HierarchyResult("MEM", p.l3_latency)
+
+    def _send(self, req: MemoryRequest) -> None:
+        req.issue_cycle = self.engine.now
+        self.memory_reads += 1
+        self.send_fn(req)
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+    def _fill_done(self, req: MemoryRequest) -> None:
+        line = req.addr
+        waiters = self.mshrs.complete(line, req)
+        core_id, dirty = self._fill_meta.pop(line, (req.core_id, False))
+        self._install_l3(line)
+        self._install_l2(core_id, line, dirty=False)
+        self._install_l1(core_id, line, dirty=dirty)
+        for w in waiters:
+            w(req)
+        self._drain_issue_queue()
+
+    def _drain_issue_queue(self) -> None:
+        while self._issue_queue and not self.mshrs.full:
+            line, req, on_fill = self._issue_queue.popleft()
+            if self.mshrs.merge(line, on_fill if on_fill is not None else _ignore):
+                continue  # someone else fetched it meanwhile
+            self.mshrs.allocate(line, req, self.engine.now)
+            if on_fill is not None:
+                self.mshrs.merge(line, on_fill)
+            self.engine.schedule(0, self._send, req)
+
+    # ------------------------------------------------------------------
+    # Install/writeback helpers
+    # ------------------------------------------------------------------
+    def _install_l1(self, core_id: int, addr: int, dirty: bool) -> None:
+        victim = self.l1[core_id].allocate(addr, dirty)
+        if victim is not None and victim.dirty:
+            self._writeback_into_l2(core_id, victim.addr)
+
+    def _writeback_into_l2(self, core_id: int, addr: int) -> None:
+        l2 = self.l2[core_id]
+        if l2.contains(addr):
+            l2.lookup(addr, is_write=True)
+            return
+        victim = l2.allocate(addr, dirty=True)
+        if victim is not None and victim.dirty:
+            self._writeback_into_l3(victim.addr)
+
+    def _install_l2(self, core_id: int, addr: int, dirty: bool) -> None:
+        victim = self.l2[core_id].allocate(addr, dirty)
+        if victim is not None and victim.dirty:
+            self._writeback_into_l3(victim.addr)
+
+    def _writeback_into_l3(self, addr: int) -> None:
+        if self.l3.contains(addr):
+            self.l3.lookup(addr, is_write=True)
+            return
+        victim = self.l3.allocate(addr, dirty=True)
+        if victim is not None and victim.dirty:
+            self._memory_write(victim.addr)
+
+    def _install_l3(self, addr: int) -> None:
+        victim = self.l3.allocate(addr, dirty=False)
+        if victim is not None and victim.dirty:
+            self._memory_write(victim.addr)
+
+    def _memory_write(self, addr: int) -> None:
+        req = MemoryRequest(
+            addr=addr, is_write=True, core_id=0, issue_cycle=self.engine.now
+        )
+        self.memory_writes += 1
+        self.send_fn(req)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def llc_misses(self) -> int:
+        return self.l3.misses
+
+    def mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction (the paper's workload classifier)."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return 1000.0 * self.l3.misses / instructions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CacheHierarchy cores={len(self.l1)} "
+            f"L3hr={self.l3.hit_rate():.2%} mem R/W="
+            f"{self.memory_reads}/{self.memory_writes}>"
+        )
+
+
+def _ignore(req: MemoryRequest) -> None:
+    """Placeholder waiter for fills nobody blocks on."""

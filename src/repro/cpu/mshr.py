@@ -1,0 +1,90 @@
+"""Miss Status Holding Registers: outstanding-miss tracking and merging.
+
+Sits between the LLC and the HMC host controller.  A second miss to a line
+already in flight merges into the existing entry instead of issuing another
+memory request (secondary miss), which both models real MSHR behaviour and
+keeps duplicate traffic from reaching the cube.  Capacity is bounded; callers
+observe :meth:`MSHRFile.full` and throttle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.request import MemoryRequest
+
+Waiter = Callable[[MemoryRequest], None]
+
+
+class MSHREntry:
+    """One in-flight line fill and the requests waiting on it."""
+
+    __slots__ = ("line_addr", "primary", "waiters", "issued_cycle")
+
+    def __init__(self, line_addr: int, primary: MemoryRequest, issued_cycle: int) -> None:
+        self.line_addr = line_addr
+        self.primary = primary
+        self.waiters: List[Waiter] = []
+        self.issued_cycle = issued_cycle
+
+
+class MSHRFile:
+    """Bounded file of in-flight line misses."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry] = {}
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.stalls = 0  # full() observed by callers
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_addr)
+
+    def allocate(
+        self, line_addr: int, primary: MemoryRequest, now: int
+    ) -> MSHREntry:
+        """Register a primary miss.  Raises when full or duplicate - callers
+        must check :attr:`full` and :meth:`lookup` first."""
+        if line_addr in self._entries:
+            raise ValueError(f"line 0x{line_addr:x} already in flight")
+        if self.full:
+            raise RuntimeError("MSHR file full")
+        entry = MSHREntry(line_addr, primary, now)
+        self._entries[line_addr] = entry
+        self.primary_misses += 1
+        return entry
+
+    def merge(self, line_addr: int, waiter: Waiter) -> bool:
+        """Attach a waiter to an in-flight line.  Returns False if the line
+        is not in flight (caller must allocate instead)."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            return False
+        entry.waiters.append(waiter)
+        self.secondary_misses += 1
+        return True
+
+    def complete(self, line_addr: int, req: MemoryRequest) -> List[Waiter]:
+        """Retire an entry when its fill returns; hands back the waiters so
+        the hierarchy can notify them after installing the line."""
+        entry = self._entries.pop(line_addr, None)
+        if entry is None:
+            raise KeyError(f"no MSHR entry for line 0x{line_addr:x}")
+        return entry.waiters
+
+    def note_stall(self) -> None:
+        self.stalls += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MSHRFile {len(self._entries)}/{self.capacity}>"

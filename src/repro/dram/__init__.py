@@ -1,0 +1,24 @@
+"""DRAM substrate: per-bank row-buffer state machines, timing arithmetic and
+an event-count energy model.
+
+The model follows the paper's Table I: DDR3-1600 style timing (tRCD = tRP =
+tCL = 11 memory cycles) inside each HMC vault, an open-page policy, and
+1 KB row buffers.  All externally visible times are expressed in CPU cycles
+(3 GHz); :class:`~repro.dram.timing.DRAMTimings` performs the conversion.
+"""
+
+from repro.dram.timing import DRAMTimings
+from repro.dram.commands import Command, CommandKind
+from repro.dram.bank import Bank, AccessKind, AccessResult
+from repro.dram.energy import EnergyModel, EnergyParams
+
+__all__ = [
+    "DRAMTimings",
+    "Command",
+    "CommandKind",
+    "Bank",
+    "AccessKind",
+    "AccessResult",
+    "EnergyModel",
+    "EnergyParams",
+]

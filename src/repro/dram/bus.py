@@ -1,0 +1,44 @@
+"""Shared per-vault TSV data bus.
+
+All 16 banks of a vault share one TSV bundle to the vault controller.  Demand
+line transfers occupy it for one burst; whole-row prefetch transfers occupy
+it for the full row streaming time.  This shared resource is the central
+performance trade-off of the paper: aggressive whole-row prefetching (BASE)
+saturates the vault's internal bandwidth and delays demand transfers, while
+selective prefetching (CAMPS) pays the row-transfer cost only for rows that
+will be used.
+
+The bus is a simple busy-until serialization server; reservations are
+arithmetic (no simulation events).
+"""
+
+from __future__ import annotations
+
+
+class TsvBus:
+    """Serialization server for one vault's TSV data bundle."""
+
+    __slots__ = ("vault_id", "busy_until", "reservations", "busy_cycles")
+
+    def __init__(self, vault_id: int = 0) -> None:
+        self.vault_id = vault_id
+        self.busy_until = 0
+        self.reservations = 0
+        self.busy_cycles = 0
+
+    def reserve(self, earliest: int, duration: int) -> int:
+        """Reserve the bus for ``duration`` cycles, no earlier than
+        ``earliest``.  Returns the start cycle of the reservation."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(earliest, self.busy_until)
+        self.busy_until = start + duration
+        self.reservations += 1
+        self.busy_cycles += duration
+        return start
+
+    def utilization(self, total_cycles: int) -> float:
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TsvBus v{self.vault_id} busy_until={self.busy_until}>"

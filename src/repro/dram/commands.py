@@ -1,0 +1,38 @@
+"""DRAM command vocabulary.
+
+Commands are recorded (not replayed) by the bank model: each demand access or
+prefetch row-fetch is decomposed into the ACT/PRE/RD/WR primitives it implies,
+and the energy model in :mod:`repro.dram.energy` charges per command.  Keeping
+the command trace explicit also lets tests assert exact command sequences for
+scripted access patterns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CommandKind(enum.Enum):
+    """The DRAM command primitives the vault controller can issue."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    ROW_FETCH = "ROWF"  # whole-row stream to prefetch buffer over TSVs
+    ROW_RESTORE = "ROWR"  # dirty prefetched row written back to the bank
+    REFRESH = "REF"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One issued DRAM command, for command-trace tests and energy."""
+
+    kind: CommandKind
+    bank: int
+    row: int
+    cycle: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}(b{self.bank},r{self.row})@{self.cycle}"

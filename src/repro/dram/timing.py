@@ -1,0 +1,120 @@
+"""DRAM timing parameters and CPU-cycle conversion.
+
+Table I of the paper specifies DDR3-1600 timing (tRCD = tRP = tCL = 11
+memory-bus cycles) for the DRAM layers, a 3 GHz CPU, and 1 KB row buffers.
+The simulator runs on the CPU clock, so every memory-cycle quantity is
+converted once, at configuration time, via the clock ratio
+``cpu_freq_ghz / dram_freq_ghz`` and rounded up (a command can never appear
+faster than its true duration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def _to_cpu(mem_cycles: int, ratio: float) -> int:
+    """Convert memory-bus cycles to CPU cycles, rounding up."""
+    return int(math.ceil(mem_cycles * ratio))
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """DRAM timing in memory-bus cycles plus derived CPU-cycle values.
+
+    Attributes mirror standard DDR nomenclature:
+
+    * ``trcd`` - RAS-to-CAS delay (ACTIVATE until READ/WRITE may issue).
+    * ``trp``  - row precharge time.
+    * ``tcl``  - CAS latency (READ until first data beat).
+    * ``tburst`` - data burst length for one 64 B cache line.
+    * ``twr``  - write recovery (last write data until PRECHARGE may issue).
+    * ``tras`` - minimum ACTIVATE-to-PRECHARGE interval.
+    * ``trow_tsv`` - cycles to stream a whole 1 KB row over the vault TSV
+      bundle into the prefetch buffer.  The TSV bundle is wide, but the
+      transfer is paced by the bank's column access rate; the default (48,
+      i.e. 12 back-to-back bursts' worth) sits between the tCCD-bound worst
+      case (16 lines x tburst = 64) and the wide-TSV ideal.
+    """
+
+    cpu_freq_ghz: float = 3.0
+    dram_freq_ghz: float = 0.8  # DDR3-1600 bus: 800 MHz
+    trcd: int = 11
+    trp: int = 11
+    tcl: int = 11
+    tburst: int = 4
+    twr: int = 12
+    tras: int = 28
+    trow_tsv: int = 48
+    trefi: int = 6240  # average refresh interval (7.8 us @ 800 MHz)
+    trfc: int = 128  # refresh cycle time (160 ns @ 800 MHz)
+
+    # Derived CPU-cycle values (filled in __post_init__).
+    ratio: float = field(init=False, default=0.0)
+    trcd_cpu: int = field(init=False, default=0)
+    trefi_cpu: int = field(init=False, default=0)
+    trfc_cpu: int = field(init=False, default=0)
+    trp_cpu: int = field(init=False, default=0)
+    tcl_cpu: int = field(init=False, default=0)
+    tburst_cpu: int = field(init=False, default=0)
+    twr_cpu: int = field(init=False, default=0)
+    tras_cpu: int = field(init=False, default=0)
+    trow_tsv_cpu: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.cpu_freq_ghz <= 0 or self.dram_freq_ghz <= 0:
+            raise ValueError("clock frequencies must be positive")
+        for name in ("trcd", "trp", "tcl", "tburst", "twr", "tras", "trow_tsv",
+                     "trefi", "trfc"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        ratio = self.cpu_freq_ghz / self.dram_freq_ghz
+        object.__setattr__(self, "ratio", ratio)
+        for name in ("trcd", "trp", "tcl", "tburst", "twr", "tras", "trow_tsv",
+                     "trefi", "trfc"):
+            object.__setattr__(self, f"{name}_cpu", _to_cpu(getattr(self, name), ratio))
+
+    # ------------------------------------------------------------------
+    # Composite latencies (CPU cycles) used by the bank model
+    # ------------------------------------------------------------------
+    @property
+    def row_hit_read(self) -> int:
+        """READ to an already-open row: CAS latency + burst."""
+        return self.tcl_cpu + self.tburst_cpu
+
+    @property
+    def row_empty_read(self) -> int:
+        """READ to a precharged bank: ACTIVATE + CAS + burst."""
+        return self.trcd_cpu + self.tcl_cpu + self.tburst_cpu
+
+    @property
+    def row_conflict_read(self) -> int:
+        """READ needing PRECHARGE of a different open row first."""
+        return self.trp_cpu + self.trcd_cpu + self.tcl_cpu + self.tburst_cpu
+
+    @property
+    def row_hit_write(self) -> int:
+        return self.tcl_cpu + self.tburst_cpu
+
+    @property
+    def row_empty_write(self) -> int:
+        return self.trcd_cpu + self.tcl_cpu + self.tburst_cpu
+
+    @property
+    def row_conflict_write(self) -> int:
+        return self.trp_cpu + self.trcd_cpu + self.tcl_cpu + self.tburst_cpu
+
+    def row_fetch_to_buffer(self, row_open: bool) -> int:
+        """Cycles for an internal whole-row transfer to the prefetch buffer.
+
+        The row is activated if necessary, streamed over the TSVs, and the
+        bank is precharged afterwards (the paper precharges after every
+        prefetch so the bank is ready for the next request).
+        """
+        act = 0 if row_open else self.trcd_cpu
+        return act + self.tcl_cpu + self.trow_tsv_cpu + self.trp_cpu
+
+    def row_writeback_from_buffer(self) -> int:
+        """Cycles to restore a dirty prefetched row into its bank."""
+        return self.trcd_cpu + self.trow_tsv_cpu + self.twr_cpu + self.trp_cpu

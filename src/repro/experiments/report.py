@@ -1,0 +1,140 @@
+"""Markdown run report: measured vs. paper, generated from a result matrix.
+
+``generate_report`` renders every figure's per-mix table plus a
+measured-vs-paper comparison of the numbers the paper states in its text —
+the machine-generated counterpart of the hand-written EXPERIMENTS.md.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    PAPER_FIG5_CAMPS_MOD_SPEEDUP,
+    PAPER_FIG5_VS,
+    PAPER_FIG6_REDUCTION_VS_BASEHIT,
+    PAPER_FIG6_REDUCTION_VS_MMD,
+    PAPER_FIG7_ACCURACY,
+    PAPER_FIG9_ENERGY,
+    FigureData,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.metrics.collectors import ResultMatrix
+
+
+def _md_table(data: FigureData, fmt: str = "{:.3f}") -> List[str]:
+    lines = [f"### {data.figure}: {data.title}", ""]
+    header = "| workload | " + " | ".join(data.schemes) + " |"
+    sep = "|" + "---|" * (len(data.schemes) + 1)
+    lines += [header, sep]
+    for w, row in data.per_workload.items():
+        cells = " | ".join(fmt.format(row[s]) for s in data.schemes)
+        lines.append(f"| {w} | {cells} |")
+    for g, row in data.summary.items():
+        cells = " | ".join(fmt.format(row[s]) for s in data.schemes)
+        lines.append(f"| **{g}** | {cells} |")
+    lines.append("")
+    return lines
+
+
+def _comparison_row(label: str, measured: float, paper: float) -> str:
+    delta = measured - paper
+    return f"| {label} | {measured:.3f} | {paper:.3f} | {delta:+.3f} |"
+
+
+def generate_report(
+    matrix: ResultMatrix,
+    title: str = "CAMPS reproduction report",
+    scale_note: Optional[str] = None,
+) -> str:
+    """Render the full measured-vs-paper markdown report."""
+    f5 = figure5(matrix)
+    f6 = figure6(matrix)
+    f7 = figure7(matrix)
+    f8 = figure8(matrix, schemes=["base", "mmd", "camps-mod"])
+    f9 = figure9(matrix)
+
+    lines: List[str] = [f"# {title}", ""]
+    if scale_note:
+        lines += [scale_note, ""]
+
+    # headline comparison table
+    lines += ["## Headline comparison (measured vs paper)", ""]
+    lines += [
+        "| quantity | measured | paper | delta |",
+        "|---|---|---|---|",
+    ]
+    avg5 = f5.summary["AVG"]
+    lines.append(
+        _comparison_row(
+            "CAMPS-MOD speedup over BASE (AVG)", avg5["camps-mod"], PAPER_FIG5_VS["base"]
+        )
+    )
+    for grp in ("HM", "LM", "MX"):
+        if grp in f5.summary:
+            lines.append(
+                _comparison_row(
+                    f"CAMPS-MOD speedup over BASE ({grp})",
+                    f5.summary[grp]["camps-mod"],
+                    PAPER_FIG5_CAMPS_MOD_SPEEDUP[grp],
+                )
+            )
+    avg6 = f6.summary["AVG"]
+    if avg6.get("base-hit"):
+        lines.append(
+            _comparison_row(
+                "CAMPS conflict reduction vs BASE-HIT",
+                1 - avg6["camps"] / avg6["base-hit"],
+                PAPER_FIG6_REDUCTION_VS_BASEHIT,
+            )
+        )
+    if avg6.get("mmd"):
+        lines.append(
+            _comparison_row(
+                "CAMPS conflict reduction vs MMD",
+                1 - avg6["camps"] / avg6["mmd"],
+                PAPER_FIG6_REDUCTION_VS_MMD,
+            )
+        )
+    avg7 = f7.summary["AVG"]
+    for scheme in ("base", "camps", "camps-mod"):
+        lines.append(
+            _comparison_row(
+                f"prefetch accuracy ({scheme})",
+                avg7[scheme],
+                PAPER_FIG7_ACCURACY[scheme],
+            )
+        )
+    avg9 = f9.summary["AVG"]
+    for scheme in ("mmd", "camps-mod"):
+        lines.append(
+            _comparison_row(
+                f"energy vs BASE ({scheme})", avg9[scheme], PAPER_FIG9_ENERGY[scheme]
+            )
+        )
+    lines.append("")
+
+    # ordering check
+    order = sorted(avg5, key=avg5.get, reverse=True)
+    lines += [
+        "## Scheme ordering (Figure 5 AVG)",
+        "",
+        "measured: " + " > ".join(order),
+        "paper:    camps-mod > camps > mmd > base-hit > base",
+        "",
+    ]
+
+    # full figure tables
+    lines += ["## Figures", ""]
+    for data in (f5, f6, f7, f8, f9):
+        lines += _md_table(data)
+        for note in data.notes:
+            lines.append(f"> {note}")
+        lines.append("")
+
+    return "\n".join(lines)

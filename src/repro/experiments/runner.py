@@ -1,0 +1,180 @@
+"""Executes (workload mix x scheme) simulation cells.
+
+A full figure needs up to 5 schemes x 12 mixes; each cell is an independent
+simulation, but all schemes of one mix share the *same* generated traces
+(that is what makes the normalized comparisons meaningful).  Completed cell
+summaries are cached on disk keyed by every input that affects the result,
+so re-running a bench or running several benches that share cells costs
+nothing the second time.
+
+Scale knobs come from the environment so the same benchmarks serve both
+quick CI runs and full reproductions:
+
+* ``REPRO_REFS``  - memory references per core per mix (default 4000)
+* ``REPRO_SEED``  - trace generation seed (default 1)
+* ``REPRO_CACHE`` - cache file path (default ``.repro_cache.json``;
+  set to ``off`` to disable)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import repro
+from repro.hmc.config import HMCConfig
+from repro.metrics.collectors import ResultMatrix
+from repro.system import SimulationResult, System, SystemConfig
+from repro.workloads.mixes import mix as make_mix
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and platform parameters for one experiment run."""
+
+    refs_per_core: int = field(default_factory=lambda: _env_int("REPRO_REFS", 4000))
+    seed: int = field(default_factory=lambda: _env_int("REPRO_SEED", 1))
+    hmc: HMCConfig = field(default_factory=HMCConfig)
+
+    def cache_key(self, workload: str, scheme: str) -> str:
+        t = self.hmc.timings
+        parts = (
+            repro.__version__,
+            workload,
+            scheme,
+            self.refs_per_core,
+            self.seed,
+            self.hmc.vaults,
+            self.hmc.banks_per_vault,
+            self.hmc.pf_buffer_entries,
+            self.hmc.pf_hit_latency,
+            t.trcd,
+            t.trp,
+            t.tcl,
+            t.tburst,
+            t.trow_tsv,
+        )
+        return ":".join(str(p) for p in parts)
+
+
+# Summary fields persisted to (and restored from) the cache.
+_CACHED_FIELDS = [
+    "scheme",
+    "workload",
+    "cycles",
+    "core_ipc",
+    "core_instructions",
+    "conflict_rate",
+    "row_conflicts",
+    "demand_accesses",
+    "buffer_hits",
+    "prefetches_issued",
+    "row_accuracy",
+    "line_accuracy",
+    "mean_memory_latency",
+    "mean_read_latency",
+    "energy_pj",
+    "energy_breakdown",
+    "link_utilization",
+]
+
+
+class ResultCache:
+    """Tiny JSON file cache of simulation summaries."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        raw = os.environ.get("REPRO_CACHE", ".repro_cache.json")
+        self.enabled = raw.lower() != "off"
+        self.path = path or Path(raw if self.enabled else ".repro_cache.json")
+        self._data: Dict[str, dict] = {}
+        if self.enabled and self.path.exists():
+            try:
+                self._data = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._data = {}
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        if not self.enabled:
+            return None
+        raw = self._data.get(key)
+        if raw is None:
+            return None
+        return SimulationResult(extra={"cached": True}, **{f: raw[f] for f in _CACHED_FIELDS})
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        if not self.enabled:
+            return
+        self._data[key] = {f: getattr(result, f) for f in _CACHED_FIELDS}
+        try:
+            self.path.write_text(json.dumps(self._data))
+        except OSError:
+            pass  # caching is best-effort
+
+
+_default_cache: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ResultCache()
+    return _default_cache
+
+
+def run_cell(
+    workload: str,
+    scheme: str,
+    config: Optional[ExperimentConfig] = None,
+    traces=None,
+    cache: Optional[ResultCache] = None,
+) -> SimulationResult:
+    """Run one (mix, scheme) simulation, consulting the cache first."""
+    cfg = config or ExperimentConfig()
+    c = cache if cache is not None else default_cache()
+    key = cfg.cache_key(workload, scheme)
+    hit = c.get(key)
+    if hit is not None:
+        return hit
+    if traces is None:
+        traces = make_mix(workload, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
+    result = System(
+        traces, SystemConfig(hmc=cfg.hmc, scheme=scheme), workload=workload
+    ).run()
+    c.put(key, result)
+    return result
+
+
+def run_matrix(
+    workloads: Iterable[str],
+    schemes: Iterable[str],
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[ResultCache] = None,
+    progress: bool = False,
+) -> ResultMatrix:
+    """Run the full (mixes x schemes) grid, sharing traces per mix."""
+    cfg = config or ExperimentConfig()
+    matrix = ResultMatrix()
+    scheme_list = list(schemes)
+    for w in workloads:
+        traces = None
+        for s in scheme_list:
+            c = cache if cache is not None else default_cache()
+            if c.get(cfg.cache_key(w, s)) is None and traces is None:
+                traces = make_mix(w, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
+            if progress:  # pragma: no cover - cosmetic
+                print(f"  running {w} / {s} ...", flush=True)
+            matrix.add(run_cell(w, s, cfg, traces=traces, cache=cache))
+    return matrix

@@ -1,0 +1,139 @@
+"""Declarative parameter sweeps.
+
+A :class:`Sweep` names one knob (an ``HMCConfig`` field, a ``DRAMTimings``
+field, or a scheme constructor kwarg), lists its values, and runs a chosen
+workload/scheme for each - the shape behind every ablation bench, exposed as
+a first-class API and the ``python -m repro sweep`` command::
+
+    Sweep("pf_buffer_entries", [4, 8, 16, 32]).run("HM1", "camps-mod")
+    Sweep("timings.trow_tsv", [16, 48, 64]).run("HM1", "camps-mod")
+    Sweep("scheme:utilization_threshold", [2, 4, 8]).run("HM1", "camps-mod")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.camps import CampsParams
+from repro.dram.timing import DRAMTimings
+from repro.hmc.config import HMCConfig
+from repro.system import SimulationResult, System, SystemConfig
+from repro.workloads.mixes import mix as make_mix
+
+
+@dataclass
+class SweepPoint:
+    """One knob value and its simulation outcome (vs. the shared baseline)."""
+
+    value: Any
+    result: SimulationResult
+    speedup_vs_base: Optional[float] = None
+
+
+@dataclass
+class SweepResult:
+    knob: str
+    workload: str
+    scheme: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self) -> SweepPoint:
+        key = (
+            (lambda p: p.speedup_vs_base)
+            if self.points and self.points[0].speedup_vs_base is not None
+            else (lambda p: p.result.geomean_ipc)
+        )
+        return max(self.points, key=key)
+
+    def text(self) -> str:
+        lines = [
+            f"sweep of {self.knob} ({self.workload}, {self.scheme})",
+            f"{'value':>10}{'ipc':>9}{'speedup':>9}{'conflicts':>10}"
+            f"{'accuracy':>9}{'energy uJ':>11}",
+        ]
+        for p in self.points:
+            spd = f"{p.speedup_vs_base:.3f}" if p.speedup_vs_base else "-"
+            lines.append(
+                f"{str(p.value):>10}{p.result.geomean_ipc:>9.3f}{spd:>9}"
+                f"{p.result.conflict_rate:>10.3f}{p.result.row_accuracy:>9.2f}"
+                f"{p.result.energy_pj / 1e6:>11.1f}"
+            )
+        lines.append(f"best: {self.knob}={self.best().value}")
+        return "\n".join(lines)
+
+
+class Sweep:
+    """One-knob sweep specification.
+
+    Knob syntax:
+
+    * ``"<field>"``           - an :class:`HMCConfig` field
+    * ``"timings.<field>"``   - a :class:`DRAMTimings` field
+    * ``"scheme:<kwarg>"``    - a :class:`CampsParams` field passed to the
+      scheme constructor (CAMPS-family schemes)
+    """
+
+    def __init__(self, knob: str, values: Sequence[Any]) -> None:
+        if not values:
+            raise ValueError("sweep needs at least one value")
+        self.knob = knob
+        self.values = list(values)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.knob.startswith("scheme:"):
+            name = self.knob.split(":", 1)[1]
+            if name not in {f.name for f in dataclasses.fields(CampsParams)}:
+                raise ValueError(f"unknown CampsParams field {name!r}")
+        elif self.knob.startswith("timings."):
+            name = self.knob.split(".", 1)[1]
+            if name not in {f.name for f in dataclasses.fields(DRAMTimings) if f.init}:
+                raise ValueError(f"unknown DRAMTimings field {name!r}")
+        else:
+            if self.knob not in {f.name for f in dataclasses.fields(HMCConfig)}:
+                raise ValueError(f"unknown HMCConfig field {self.knob!r}")
+
+    # ------------------------------------------------------------------
+    def _configure(self, value: Any) -> (HMCConfig, Optional[Dict[str, Any]]):
+        if self.knob.startswith("scheme:"):
+            name = self.knob.split(":", 1)[1]
+            params = CampsParams(**{name: value})
+            return HMCConfig(), {"params": params}
+        if self.knob.startswith("timings."):
+            name = self.knob.split(".", 1)[1]
+            timings = dataclasses.replace(DRAMTimings(), **{name: value})
+            return HMCConfig(timings=timings), None
+        return HMCConfig(**{self.knob: value}), None
+
+    def run(
+        self,
+        workload: str,
+        scheme: str = "camps-mod",
+        refs_per_core: int = 2500,
+        seed: int = 1,
+        baseline_scheme: Optional[str] = "base",
+    ) -> SweepResult:
+        """Run the sweep; the workload's traces are generated once (under
+        the default config) and shared by every point and the baseline."""
+        traces = make_mix(workload, refs_per_core, seed=seed)
+        out = SweepResult(self.knob, workload, scheme)
+        for value in self.values:
+            hmc, scheme_kwargs = self._configure(value)
+            result = System(
+                traces,
+                SystemConfig(hmc=hmc, scheme=scheme),
+                workload=workload,
+                scheme_kwargs=scheme_kwargs,
+            ).run()
+            speedup = None
+            if baseline_scheme:
+                base = System(
+                    traces,
+                    SystemConfig(hmc=hmc, scheme=baseline_scheme),
+                    workload=workload,
+                ).run()
+                speedup = result.speedup_vs(base)
+            out.points.append(SweepPoint(value, result, speedup))
+        return out

@@ -1,0 +1,88 @@
+"""Tables I and II of the paper, regenerated from the live configuration.
+
+Table I is not an experiment - it *is* the default :class:`HMCConfig`; the
+bench prints the live values so drift between paper and code is visible.
+Table II lists the twelve mixes; the bench additionally measures each
+constituent trace's MPKI to confirm the HM / LM classification holds for
+the synthetic substitutes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.hierarchy import HierarchyParams
+from repro.hmc.config import HMCConfig
+from repro.workloads.mixes import MIXES, mix_names
+from repro.workloads.spec import PROFILES
+from repro.workloads.synthetic import generate_trace
+
+
+def table1_text(config: Optional[HMCConfig] = None) -> str:
+    """Render the live system configuration in the shape of Table I."""
+    cfg = config or HMCConfig()
+    t = cfg.timings
+    h = HierarchyParams()
+    rows = [
+        ("Processor", "8 cores @ %.0f GHz, issue width 4, trace-driven OoO model"
+         % t.cpu_freq_ghz),
+        ("Caches", "L1(I/D) %dKB pvt %d-way lat %d | L2 %dKB pvt %d-way lat %d | "
+         "L3 %dMB shrd %d-way lat %d, %dB lines"
+         % (h.l1.size_bytes // 1024, h.l1.assoc, h.l1.hit_latency,
+            h.l2.size_bytes // 1024, h.l2.assoc, h.l2.hit_latency,
+            h.l3.size_bytes // (1 << 20), h.l3.assoc, h.l3.hit_latency,
+            h.l3.line_bytes)),
+        ("HMC", "%d DRAM layers equivalent, %d vaults, %d banks/vault, %dB rows"
+         % (8, cfg.vaults, cfg.banks_per_vault, cfg.row_bytes)),
+        ("DRAM", "DDR3-1600, queue (R/W) = %d/%d, tRCD=%d tRP=%d tCL=%d "
+         "(memory cycles)"
+         % (cfg.read_queue_depth, cfg.write_queue_depth, t.trcd, t.trp, t.tcl)),
+        ("Serial links", "%d full-duplex links, %d lanes @ %.1f Gbps "
+         "(%.2f B/CPU-cycle per direction)"
+         % (cfg.links, cfg.link_lanes, cfg.link_gbps_per_lane,
+            cfg.link_bytes_per_cycle)),
+        ("PF buffer", "%dKB/vault, fully associative, %dB line, hit latency %d"
+         % (cfg.pf_buffer_bytes // 1024, cfg.row_bytes, cfg.pf_hit_latency)),
+        ("Addr mapping", "RoRaBaVaCo (row:rank:bank:vault:column)"),
+        ("Scheduling", "FR-FCFS, open page policy"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    lines = ["Table I: experimental configuration", "=" * 36]
+    lines += [f"{k:<{width}}  {v}" for k, v in rows]
+    return "\n".join(lines)
+
+
+def table2_rows(
+    measure_mpki: bool = False,
+    refs: int = 2000,
+    seed: int = 1,
+) -> List[Tuple[str, str, List[str], Dict[str, float]]]:
+    """Table II: (mix id, category, benchmarks, measured per-bench MPKI).
+
+    With ``measure_mpki`` the constituent benchmarks' traces are generated
+    and their realized MPKI computed, verifying the HM / LM classes.
+    """
+    out = []
+    for name in mix_names():
+        benches = MIXES[name]
+        mpki: Dict[str, float] = {}
+        if measure_mpki:
+            for b in sorted(set(benches)):
+                trace = generate_trace(b, refs, seed=seed)
+                mpki[b] = trace.mpki
+        out.append((name, name[:2], benches, mpki))
+    return out
+
+
+def table2_text(measure_mpki: bool = False, refs: int = 2000, seed: int = 1) -> str:
+    """Render Table II (optionally with measured MPKI per benchmark)."""
+    lines = ["Table II: SPEC CPU2006 benchmark sets", "=" * 37]
+    for name, cat, benches, mpki in table2_rows(measure_mpki, refs, seed):
+        lines.append(f"{name} ({cat}): {', '.join(benches)}")
+        if mpki:
+            detail = ", ".join(
+                f"{b}={v:.1f} (target {PROFILES[b].mpki:.0f}, {PROFILES[b].memory_intensity})"
+                for b, v in sorted(mpki.items())
+            )
+            lines.append(f"    measured MPKI: {detail}")
+    return "\n".join(lines)

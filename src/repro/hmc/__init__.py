@@ -1,0 +1,20 @@
+"""Hybrid Memory Cube package model.
+
+Assembles the substrates into the device of the paper's Figure 2: 32 vaults
+(each with 16 banks and a vault controller hosting the memory-side
+prefetcher), an internal crossbar, four full-duplex serial links, and the
+host-side HMC controller that packetizes cache-line requests.
+"""
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.address import AddressMapping, DecodedAddress
+from repro.hmc.device import HMCDevice
+from repro.hmc.host import HostController
+
+__all__ = [
+    "HMCConfig",
+    "AddressMapping",
+    "DecodedAddress",
+    "HMCDevice",
+    "HostController",
+]

@@ -1,0 +1,147 @@
+"""Host-side HMC controller: address decode, packetization, link selection.
+
+Sits on the processor die (paper Figure 2).  Every LLC miss or writeback
+becomes a request packet: the controller decodes the cube coordinates once,
+chooses a serial link (static vault-interleaved assignment, which balances
+load because consecutive rows interleave across vaults), serializes the
+packet, and injects it into the cube.  Completions arrive on the paired
+response direction; the controller timestamps them, feeds the AMAT histogram
+(Figure 8's input) and wakes the issuing core via the request callback.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.interconnect.link import SerialLink
+from repro.interconnect.packet import PacketKind, packet_bytes
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine
+from repro.sim.stats import StatGroup
+
+
+class HostController:
+    """The processor-side endpoint of the HMC serial links."""
+
+    def __init__(
+        self,
+        config: HMCConfig,
+        engine: Engine,
+        device: HMCDevice,
+        record_requests: bool = False,
+    ) -> None:
+        self.config = config
+        self.engine = engine
+        self.device = device
+        self.record_requests = record_requests
+        self.completed_requests = []  # populated only when recording
+        self.mapping = AddressMapping(config)
+        bpc = config.link_bytes_per_cycle
+        self.links: List[SerialLink] = [
+            SerialLink(i, bpc, config.serdes_latency, config.flit_bytes)
+            for i in range(config.links)
+        ]
+        device.set_deliver_fn(self._respond_from_cube)
+        self.stats = StatGroup("host")
+        self._c_reads = self.stats.counter("reads_sent")
+        self._c_writes = self.stats.counter("writes_sent")
+        self._c_done = self.stats.counter("completions")
+        # 64 bins x 32 cycles covers latencies up to ~2k cycles before overflow
+        self.latency_hist = self.stats.histogram("mem_latency", nbins=64, bin_width=32)
+        self.read_latency_hist = self.stats.histogram(
+            "read_latency", nbins=64, bin_width=32
+        )
+
+    # ------------------------------------------------------------------
+    # Request path (core -> cube)
+    # ------------------------------------------------------------------
+    def _link_for(self, vault: int) -> SerialLink:
+        return self.links[vault % len(self.links)]
+
+    def send(self, req: MemoryRequest) -> None:
+        """Packetize and transmit one request at ``engine.now``."""
+        now = self.engine.now
+        req.host_cycle = now
+        d = self.mapping.decode(req.addr)
+        req.vault, req.bank, req.row, req.column = d.vault, d.bank, d.row, d.column
+        kind = PacketKind.WRITE_REQUEST if req.is_write else PacketKind.READ_REQUEST
+        nbytes = packet_bytes(kind, self.config.line_bytes, self.config.request_header_bytes)
+        link = self._link_for(req.vault)
+        arrival, flits = link.request.send(now, nbytes)
+        self.device.energy.charge_link_flits(flits)
+        if req.is_write:
+            self._c_writes.inc()
+        else:
+            self._c_reads.inc()
+        self.device.inject(req, arrival)
+
+    # ------------------------------------------------------------------
+    # Response path (cube -> core)
+    # ------------------------------------------------------------------
+    def _respond_from_cube(self, req: MemoryRequest, ready: int) -> None:
+        # Serialization must be reserved when the data is actually ready -
+        # reserving at call time would let far-future completions (e.g.
+        # in-flight prefetch hits) block earlier responses on the link.
+        self.engine.schedule_at(max(ready, self.engine.now), self._tx_response, req)
+
+    def _tx_response(self, req: MemoryRequest) -> None:
+        kind = PacketKind.WRITE_RESPONSE if req.is_write else PacketKind.READ_RESPONSE
+        nbytes = packet_bytes(kind, self.config.line_bytes, self.config.request_header_bytes)
+        link = self._link_for(req.vault)
+        arrival, flits = link.response.send(self.engine.now, nbytes)
+        self.device.energy.charge_link_flits(flits)
+        self.engine.schedule_at(arrival, self._deliver, req)
+
+    def _deliver(self, req: MemoryRequest) -> None:
+        req.complete_cycle = self.engine.now
+        self._c_done.inc()
+        lat = req.latency
+        self.latency_hist.add(lat)
+        if not req.is_write:
+            self.read_latency_hist.add(lat)
+        if self.record_requests:
+            self.completed_requests.append(req)
+        if req.callback is not None:
+            req.callback(req)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Warmup boundary: zero latency histograms and link activity.  The
+        sent/completed counters are preserved (outstanding tracking)."""
+        self.latency_hist.reset()
+        self.read_latency_hist.reset()
+        for link in self.links:
+            for d in (link.request, link.response):
+                d.packets = 0
+                d.bytes_sent = 0
+                d.flits_sent = 0
+                d.busy_cycles = 0
+
+    @property
+    def outstanding(self) -> int:
+        sent = self._c_reads.value + self._c_writes.value
+        return sent - self._c_done.value
+
+    def mean_memory_latency(self) -> float:
+        """Mean round-trip latency of all completed requests (cycles)."""
+        return self.latency_hist.mean
+
+    def mean_read_latency(self) -> float:
+        """Mean round-trip latency of completed reads (AMAT numerator)."""
+        return self.read_latency_hist.mean
+
+    def link_utilization(self) -> float:
+        """Average request+response serialization utilization across links."""
+        cycles = self.engine.now
+        if not cycles:
+            return 0.0
+        dirs = [d for l in self.links for d in (l.request, l.response)]
+        return sum(d.utilization(cycles) for d in dirs) / len(dirs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HostController links={len(self.links)} outstanding={self.outstanding}>"

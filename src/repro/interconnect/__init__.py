@@ -1,0 +1,22 @@
+"""Off-chip serial links and the internal crossbar of the HMC.
+
+The processor talks to the cube over four full-duplex SerDes links (Table I:
+16 input + 16 output lanes at 12.5 Gbps each); a crossbar in the logic base
+routes request packets to vault controllers (paper Figure 2).  Packets are
+flit-quantized; serialization occupies a link direction for
+``bytes / bytes_per_cycle`` cycles and every flit is charged to the energy
+model.
+"""
+
+from repro.interconnect.packet import Packet, PacketKind, packet_bytes
+from repro.interconnect.link import LinkDirection, SerialLink
+from repro.interconnect.crossbar import Crossbar
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "packet_bytes",
+    "LinkDirection",
+    "SerialLink",
+    "Crossbar",
+]

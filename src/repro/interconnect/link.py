@@ -1,0 +1,102 @@
+"""Serial link model: serialization delay + fixed SerDes/flight latency.
+
+Each of the four links is full-duplex: an independent request direction
+(host -> cube) and response direction (cube -> host).  A direction is a
+serialization server: a packet occupies it for ``nbytes / bytes_per_cycle``
+cycles (arithmetic busy-until, no events), then lands after a further fixed
+``serdes_latency``.  Per-direction flit and byte counts feed the energy model
+and the utilization report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+class LinkDirection:
+    """One direction of one serial link."""
+
+    __slots__ = (
+        "name",
+        "bytes_per_cycle",
+        "serdes_latency",
+        "flit_bytes",
+        "busy_until",
+        "packets",
+        "bytes_sent",
+        "flits_sent",
+        "busy_cycles",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        bytes_per_cycle: float,
+        serdes_latency: int,
+        flit_bytes: int,
+    ) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if serdes_latency < 0:
+            raise ValueError("serdes_latency must be non-negative")
+        self.name = name
+        self.bytes_per_cycle = bytes_per_cycle
+        self.serdes_latency = serdes_latency
+        self.flit_bytes = flit_bytes
+        self.busy_until = 0
+        self.packets = 0
+        self.bytes_sent = 0
+        self.flits_sent = 0
+        self.busy_cycles = 0
+
+    def send(self, at: int, nbytes: int) -> Tuple[int, int]:
+        """Serialize ``nbytes`` starting no earlier than ``at``.
+
+        Returns ``(arrival_cycle, flits)``: when the packet is fully
+        delivered at the far end, and how many flits crossed the wire.
+        """
+        if nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+        start = max(at, self.busy_until)
+        ser = max(1, math.ceil(nbytes / self.bytes_per_cycle))
+        self.busy_until = start + ser
+        self.busy_cycles += ser
+        flits = max(1, math.ceil(nbytes / self.flit_bytes))
+        self.packets += 1
+        self.bytes_sent += nbytes
+        self.flits_sent += flits
+        return start + ser + self.serdes_latency, flits
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of time this direction spent serializing."""
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LinkDir {self.name} busy_until={self.busy_until} pkts={self.packets}>"
+
+
+class SerialLink:
+    """A full-duplex link: one request and one response direction."""
+
+    def __init__(
+        self,
+        link_id: int,
+        bytes_per_cycle: float,
+        serdes_latency: int,
+        flit_bytes: int,
+    ) -> None:
+        self.link_id = link_id
+        self.request = LinkDirection(
+            f"link{link_id}.req", bytes_per_cycle, serdes_latency, flit_bytes
+        )
+        self.response = LinkDirection(
+            f"link{link_id}.resp", bytes_per_cycle, serdes_latency, flit_bytes
+        )
+
+    @property
+    def total_flits(self) -> int:
+        return self.request.flits_sent + self.response.flits_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SerialLink {self.link_id}>"

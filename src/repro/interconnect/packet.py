@@ -1,0 +1,45 @@
+"""HMC link packet formats.
+
+Following the HMC 2.1 specification's transaction layer in simplified form:
+every packet carries a 16 B header+tail envelope; data payloads ride in 16 B
+flits.  A 64 B read therefore costs 1 request flit out and 5 response flits
+back, which is what makes memory-side prefetching attractive - row transfers
+to the prefetch buffer use the vault's internal TSVs and never appear here.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class PacketKind(enum.Enum):
+    READ_REQUEST = "rd_req"
+    WRITE_REQUEST = "wr_req"  # carries 64 B payload
+    READ_RESPONSE = "rd_resp"  # carries 64 B payload
+    WRITE_RESPONSE = "wr_resp"  # ack only
+
+
+def packet_bytes(kind: PacketKind, line_bytes: int, header_bytes: int) -> int:
+    """Wire size of a packet of ``kind`` for a given cache-line size."""
+    if kind in (PacketKind.WRITE_REQUEST, PacketKind.READ_RESPONSE):
+        return header_bytes + line_bytes
+    return header_bytes
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One transaction-layer packet (used by tests and trace dumps; the hot
+    path passes sizes directly to the link model)."""
+
+    kind: PacketKind
+    req_id: int
+    vault: int
+    nbytes: int
+
+    def flits(self, flit_bytes: int) -> int:
+        return max(1, math.ceil(self.nbytes / flit_bytes))
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}#{self.req_id}->v{self.vault}({self.nbytes}B)"

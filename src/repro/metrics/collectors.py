@@ -1,0 +1,179 @@
+"""Metric collection over (workload x scheme) result matrices.
+
+The evaluation section of the paper reports everything per workload mix with
+HM / LM / MX group means and an overall average; :class:`ResultMatrix` is the
+container the experiment runner fills and every figure function consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.stats import geomean
+from repro.system import SimulationResult
+
+
+@dataclass
+class ResultMatrix:
+    """Results keyed by (workload, scheme)."""
+
+    results: Dict[Tuple[str, str], SimulationResult] = field(default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        self.results[(result.workload, result.scheme)] = result
+
+    def get(self, workload: str, scheme: str) -> SimulationResult:
+        try:
+            return self.results[(workload, scheme)]
+        except KeyError:
+            raise KeyError(
+                f"no result for workload={workload!r} scheme={scheme!r}"
+            ) from None
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self.results
+
+    def workloads(self) -> List[str]:
+        seen: List[str] = []
+        for w, _ in self.results:
+            if w not in seen:
+                seen.append(w)
+        return seen
+
+    def schemes(self) -> List[str]:
+        seen: List[str] = []
+        for _, s in self.results:
+            if s not in seen:
+                seen.append(s)
+        return seen
+
+
+def normalized_speedups(
+    matrix: ResultMatrix,
+    schemes: Iterable[str],
+    baseline: str = "base",
+    workloads: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 5's metric: per-workload geometric-mean per-core IPC speedup
+    over the baseline scheme.  Returns ``{workload: {scheme: speedup}}``
+    (the baseline itself is included at exactly 1.0)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for w in workloads if workloads is not None else matrix.workloads():
+        base = matrix.get(w, baseline)
+        out[w] = {s: matrix.get(w, s).speedup_vs(base) for s in schemes}
+    return out
+
+
+def conflict_rates(
+    matrix: ResultMatrix,
+    schemes: Iterable[str],
+    workloads: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 6's metric: row-buffer conflicts per demand request."""
+    out: Dict[str, Dict[str, float]] = {}
+    for w in workloads if workloads is not None else matrix.workloads():
+        out[w] = {s: matrix.get(w, s).conflict_rate for s in schemes}
+    return out
+
+
+def accuracies(
+    matrix: ResultMatrix,
+    schemes: Iterable[str],
+    workloads: Optional[Iterable[str]] = None,
+    line_level: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 7's metric: fraction of prefetched rows (or lines) that were
+    referenced before leaving the buffer."""
+    out: Dict[str, Dict[str, float]] = {}
+    for w in workloads if workloads is not None else matrix.workloads():
+        out[w] = {
+            s: (
+                matrix.get(w, s).line_accuracy
+                if line_level
+                else matrix.get(w, s).row_accuracy
+            )
+            for s in schemes
+        }
+    return out
+
+
+def amat_reduction(
+    matrix: ResultMatrix,
+    schemes: Iterable[str],
+    baseline: str = "base",
+    workloads: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 8's metric: relative reduction in mean memory (read) access
+    latency versus the baseline; positive = faster than baseline."""
+    out: Dict[str, Dict[str, float]] = {}
+    for w in workloads if workloads is not None else matrix.workloads():
+        base = matrix.get(w, baseline).mean_read_latency
+        out[w] = {
+            s: (base - matrix.get(w, s).mean_read_latency) / base if base else 0.0
+            for s in schemes
+        }
+    return out
+
+
+def energy_normalized(
+    matrix: ResultMatrix,
+    schemes: Iterable[str],
+    baseline: str = "base",
+    workloads: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 9's metric: total HMC energy normalized to the baseline."""
+    out: Dict[str, Dict[str, float]] = {}
+    for w in workloads if workloads is not None else matrix.workloads():
+        base = matrix.get(w, baseline).energy_pj
+        out[w] = {
+            s: matrix.get(w, s).energy_pj / base if base else 0.0 for s in schemes
+        }
+    return out
+
+
+def group_geomean(
+    per_workload: Dict[str, Dict[str, float]],
+    schemes: Iterable[str],
+    groups: Iterable[str] = ("HM", "LM", "MX"),
+) -> Dict[str, Dict[str, float]]:
+    """Fold per-workload values into HM / LM / MX geomeans plus "AVG".
+
+    Uses geometric means for ratio-like metrics; since every figure in the
+    paper normalizes against a baseline, geomean is the appropriate
+    aggregate throughout.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    workloads = list(per_workload.keys())
+    for g in groups:
+        members = [w for w in workloads if w.startswith(g)]
+        if not members:
+            continue
+        out[g] = {
+            s: geomean([per_workload[w][s] for w in members]) for s in schemes
+        }
+    out["AVG"] = {s: geomean([per_workload[w][s] for w in workloads]) for s in schemes}
+    return out
+
+
+def group_mean(
+    per_workload: Dict[str, Dict[str, float]],
+    schemes: Iterable[str],
+    groups: Iterable[str] = ("HM", "LM", "MX"),
+) -> Dict[str, Dict[str, float]]:
+    """Arithmetic-mean grouping, for additive metrics (rates, reductions)."""
+    out: Dict[str, Dict[str, float]] = {}
+    workloads = list(per_workload.keys())
+    for g in groups:
+        members = [w for w in workloads if w.startswith(g)]
+        if not members:
+            continue
+        out[g] = {
+            s: sum(per_workload[w][s] for w in members) / len(members)
+            for s in schemes
+        }
+    out["AVG"] = {
+        s: sum(per_workload[w][s] for w in workloads) / len(workloads)
+        for s in schemes
+    }
+    return out

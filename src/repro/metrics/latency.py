@@ -1,0 +1,92 @@
+"""Post-run latency analysis over recorded requests.
+
+With ``SystemConfig(record_requests=True)`` the host keeps every completed
+:class:`~repro.request.MemoryRequest`; these helpers slice the population by
+service source (bank / buffer / in-flight merge), read vs write, and
+latency segment (queue+service inside the vault vs link/crossbar transport),
+which is how "where did the cycles go" questions get answered - e.g. why a
+scheme's buffer hits are fast but its bank path is congested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.request import MemoryRequest, ServiceSource
+
+
+@dataclass(frozen=True)
+class LatencySlice:
+    """Summary statistics of one request sub-population."""
+
+    n: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, samples: List[int]) -> "LatencySlice":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        a = np.asarray(samples, dtype=np.float64)
+        return cls(
+            n=len(a),
+            mean=float(a.mean()),
+            p50=float(np.percentile(a, 50)),
+            p90=float(np.percentile(a, 90)),
+            p99=float(np.percentile(a, 99)),
+            max=float(a.max()),
+        )
+
+
+def latency_by_source(
+    requests: Iterable[MemoryRequest], reads_only: bool = True
+) -> Dict[str, LatencySlice]:
+    """End-to-end latency sliced by how each request was served."""
+    buckets: Dict[str, List[int]] = {}
+    for r in requests:
+        if not r.is_complete or (reads_only and r.is_write):
+            continue
+        key = r.source.value if r.source is not None else "unknown"
+        buckets.setdefault(key, []).append(r.latency)
+    return {k: LatencySlice.of(v) for k, v in sorted(buckets.items())}
+
+
+def latency_segments(requests: Iterable[MemoryRequest]) -> Dict[str, LatencySlice]:
+    """Split each completed request's latency into transport (host <-> vault
+    links + crossbar, both directions) and vault time (queueing + service)."""
+    transport: List[int] = []
+    vault_time: List[int] = []
+    for r in requests:
+        if not r.is_complete or r.vault_arrive_cycle < 0:
+            continue
+        inbound = r.vault_arrive_cycle - r.issue_cycle
+        # outbound transport cannot be isolated without another stamp, so
+        # vault time is measured to completion minus the inbound leg
+        vault_time.append(r.complete_cycle - r.vault_arrive_cycle)
+        transport.append(inbound)
+    return {
+        "transport_in": LatencySlice.of(transport),
+        "vault_and_return": LatencySlice.of(vault_time),
+    }
+
+
+def format_latency_table(
+    slices: Dict[str, LatencySlice], title: str = "latency by source"
+) -> str:
+    """Aligned text rendering of a slice dict."""
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'population':<16}{'n':>8}{'mean':>9}{'p50':>8}{'p90':>8}{'p99':>9}{'max':>9}"
+    )
+    for name, s in slices.items():
+        lines.append(
+            f"{name:<16}{s.n:>8}{s.mean:>9.1f}{s.p50:>8.0f}{s.p90:>8.0f}"
+            f"{s.p99:>9.0f}{s.max:>9.0f}"
+        )
+    return "\n".join(lines)

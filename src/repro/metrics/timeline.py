@@ -1,0 +1,88 @@
+"""Time-series recording and terminal sparklines.
+
+A :class:`Timeline` snapshots probe values on a fixed period (weak engine
+events, like :class:`~repro.sim.sampler.Sampler`, but keeping the full
+series rather than a histogram) and renders them as unicode sparklines -
+the quickest way to see phase behaviour: queue-depth bursts when a core's
+vault window lands on a hot vault, buffer occupancy ramping as CAMPS warms
+up, outstanding-request plateaus when MLP saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.sim.engine import Engine
+
+_SPARK = "▁▂▃▄▅▆▇█"  # 8 levels
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """Render a series as a fixed-width unicode sparkline (mean-pooled)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # mean-pool into `width` buckets
+        pooled = []
+        step = len(vals) / width
+        for i in range(width):
+            lo, hi = int(i * step), max(int(i * step) + 1, int((i + 1) * step))
+            chunk = vals[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        vals = pooled
+    vmin, vmax = min(vals), max(vals)
+    span = vmax - vmin
+    if span == 0:
+        return _SPARK[0] * len(vals)
+    return "".join(
+        _SPARK[min(7, int((v - vmin) / span * 8))] for v in vals
+    )
+
+
+class Timeline:
+    """Periodic full-series probe recording."""
+
+    def __init__(self, engine: Engine, interval: int = 1000) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.engine = engine
+        self.interval = interval
+        self._probes: List[Tuple[str, Callable[[], float]]] = []
+        self.times: List[int] = []
+        self.series: Dict[str, List[float]] = {}
+        self._armed = False
+
+    def probe(self, name: str, fn: Callable[[], float]) -> None:
+        if name in self.series:
+            raise ValueError(f"duplicate probe {name!r}")
+        self._probes.append((name, fn))
+        self.series[name] = []
+
+    def start(self) -> None:
+        if not self._armed:
+            self._armed = True
+            self.engine.schedule(self.interval, self._tick, weak=True)
+
+    def _tick(self) -> None:
+        self.times.append(self.engine.now)
+        for name, fn in self._probes:
+            self.series[name].append(float(fn()))
+        self.engine.schedule(self.interval, self._tick, weak=True)
+
+    def text(self, width: int = 64) -> str:
+        """All series as labelled sparklines with min/mean/max."""
+        if not self.times:
+            return "(no samples)"
+        name_w = max(len(n) for n in self.series) + 2
+        lines = [
+            f"timeline: {len(self.times)} samples every {self.interval} cycles "
+            f"({self.times[0]}..{self.times[-1]})"
+        ]
+        for name, vals in self.series.items():
+            mean = sum(vals) / len(vals)
+            lines.append(
+                f"{name:<{name_w}}{sparkline(vals, width)}  "
+                f"min={min(vals):.0f} mean={mean:.1f} max={max(vals):.0f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""The memory request record that flows core -> caches -> host -> vault.
+
+One :class:`MemoryRequest` represents a 64 B cache-line transaction (an LLC
+miss or a dirty writeback).  It carries its cube coordinates (decoded once at
+the host controller), a small set of timestamps used by the metrics layer
+(AMAT, Figure 8), and a completion callback that re-wakes the issuing core.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+
+class ServiceSource(enum.Enum):
+    """Where a request's data ultimately came from."""
+
+    BANK = "bank"  # DRAM bank via the normal queue/scheduler path
+    PREFETCH_BUFFER = "buffer"  # vault prefetch buffer hit
+    ROW_IN_FLIGHT = "in_flight"  # merged with a row fetch already in progress
+
+
+class MemoryRequest:
+    """A single cache-line read or write presented to the HMC."""
+
+    __slots__ = (
+        "req_id",
+        "addr",
+        "is_write",
+        "core_id",
+        "vault",
+        "bank",
+        "row",
+        "column",
+        "issue_cycle",
+        "host_cycle",
+        "vault_arrive_cycle",
+        "complete_cycle",
+        "source",
+        "callback",
+        "meta",
+    )
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        addr: int,
+        is_write: bool,
+        core_id: int = 0,
+        issue_cycle: int = 0,
+        callback: Optional[Callable[["MemoryRequest"], Any]] = None,
+    ) -> None:
+        MemoryRequest._next_id += 1
+        self.req_id = MemoryRequest._next_id
+        self.addr = addr
+        self.is_write = is_write
+        self.core_id = core_id
+        # cube coordinates, filled by the host controller's address decode
+        self.vault = -1
+        self.bank = -1
+        self.row = -1
+        self.column = -1
+        # timeline
+        self.issue_cycle = issue_cycle  # left the LLC
+        self.host_cycle = -1  # entered the HMC host controller
+        self.vault_arrive_cycle = -1  # reached the vault controller
+        self.complete_cycle = -1  # data back at the host
+        self.source: Optional[ServiceSource] = None
+        self.callback = callback
+        self.meta: Optional[dict] = None
+
+    @property
+    def latency(self) -> int:
+        """Host-observed round-trip latency in cycles (valid once complete)."""
+        if self.complete_cycle < 0:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.complete_cycle - self.issue_cycle
+
+    @property
+    def is_complete(self) -> bool:
+        return self.complete_cycle >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"<MemReq#{self.req_id} {kind} 0x{self.addr:x} "
+            f"v{self.vault}b{self.bank}r{self.row}c{self.column}>"
+        )

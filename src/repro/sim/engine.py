@@ -1,0 +1,200 @@
+"""Event-driven simulation engine.
+
+Time is an integer number of CPU cycles (3 GHz in the paper's Table I
+configuration).  Events fire in ``(time, priority, seq)`` order; ``seq`` is a
+monotonically increasing tie-breaker so the simulation is fully deterministic
+regardless of heap internals.
+
+The engine intentionally has no notion of "processes" or coroutines: every
+component is a plain object that schedules callbacks.  Profiling showed a
+callback-based heap loop to be roughly 3x faster in CPython than a
+generator-based process model for this workload mix, and the hot loop below
+avoids attribute lookups accordingly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """Handle to a scheduled callback.
+
+    The handle supports O(1) cancellation: cancelled events stay in the heap
+    but are skipped when popped.  This matters for timeout-style events that
+    are almost always cancelled before firing.
+
+    *Weak* events (periodic background work such as DRAM refresh) do not keep
+    the simulation alive: :meth:`Engine.run` stops once only weak events
+    remain pending.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "weak", "_engine")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        weak: bool = False,
+        engine: "Engine" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.weak = weak
+        self._engine = engine
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.weak and self._engine is not None:
+                self._engine._strong -= 1
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} prio={self.priority} {state} fn={self.fn!r}>"
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    >>> eng = Engine()
+    >>> order = []
+    >>> _ = eng.schedule(5, order.append, "b")
+    >>> _ = eng.schedule(1, order.append, "a")
+    >>> eng.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._strong: int = 0  # pending non-weak, non-cancelled events
+        self._events_fired: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        weak: bool = False,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative.  ``priority`` breaks same-cycle ties
+        (lower fires first); components use it to guarantee e.g. that bank
+        completions are processed before new arrivals in the same cycle.
+        ``weak`` events do not keep :meth:`run` alive on their own.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(
+            self.now + delay, fn, *args, priority=priority, weak=weak
+        )
+
+    def schedule_at(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        weak: bool = False,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at an absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self._seq += 1
+        ev = Event(int(time), priority, self._seq, fn, args, weak=weak, engine=self)
+        heapq.heappush(self._heap, ev)
+        if not weak:
+            self._strong += 1
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` cycles pass, or ``max_events``
+        events fire.  Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run() is not reentrant")
+        self._running = True
+        fired = 0
+        heap = self._heap
+        try:
+            while heap:
+                if until is None and self._strong == 0:
+                    break  # only weak (background) events remain
+                ev = heap[0]
+                if until is not None and ev.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                if max_events is not None and fired >= max_events:
+                    heapq.heappush(heap, ev)
+                    break
+                self.now = ev.time
+                if not ev.weak:
+                    self._strong -= 1
+                ev.fn(*ev.args)
+                fired += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        self._events_fired += fired
+        return fired
+
+    def step(self) -> bool:
+        """Fire exactly one pending event.  Returns False if none remain."""
+        return self.run(max_events=1) == 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed over the engine's lifetime."""
+        return self._events_fired
+
+    def peek_time(self) -> Optional[int]:
+        """Cycle of the next live event, or None when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self.now} pending={len(self._heap)}>"

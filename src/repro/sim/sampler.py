@@ -1,0 +1,53 @@
+"""Periodic state sampling for observability.
+
+A :class:`Sampler` fires a *weak* engine event every ``interval`` cycles and
+feeds the values returned by registered probe callables into histograms -
+queue depths, buffer occupancy, outstanding request counts.  Weak events do
+not keep the simulation alive, so a sampler never delays termination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Histogram
+
+Probe = Callable[[], float]
+
+
+class Sampler:
+    """Samples registered probes on a fixed period."""
+
+    def __init__(self, engine: Engine, interval: int = 1000) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.engine = engine
+        self.interval = interval
+        self._probes: List[Tuple[str, Probe, Histogram]] = []
+        self.samples_taken = 0
+        self._armed = False
+
+    def probe(self, name: str, fn: Probe, nbins: int = 32, bin_width: int = 2) -> Histogram:
+        """Register a probe; returns the histogram its samples feed."""
+        hist = Histogram(name, nbins=nbins, bin_width=bin_width)
+        self._probes.append((name, fn, hist))
+        return hist
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if not self._armed:
+            self._armed = True
+            self.engine.schedule(self.interval, self._tick, weak=True)
+
+    def _tick(self) -> None:
+        for _, fn, hist in self._probes:
+            hist.add(fn())
+        self.samples_taken += 1
+        self.engine.schedule(self.interval, self._tick, weak=True)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {name: hist for name, _, hist in self._probes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Sampler every={self.interval} n={self.samples_taken}>"

@@ -1,0 +1,217 @@
+"""Statistics primitives shared by all simulated components.
+
+Counters are plain attribute-backed integers (O(1) increments in the hot
+path); histograms accumulate into fixed-size NumPy arrays so that millions of
+samples cost one array index each.  A :class:`StatGroup` is a lightweight
+named namespace that can be dumped to a flat dict for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A named monotonic (by convention) counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bin histogram with overflow bin and exact running moments.
+
+    ``bin_width`` buckets samples as ``min(sample // bin_width, nbins - 1)``;
+    the last bin therefore collects overflow.  Mean/variance are tracked
+    exactly (Welford) regardless of binning.
+    """
+
+    __slots__ = ("name", "bin_width", "counts", "_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self, name: str, nbins: int = 64, bin_width: int = 16) -> None:
+        if nbins < 1 or bin_width < 1:
+            raise ValueError("nbins and bin_width must be >= 1")
+        self.name = name
+        self.bin_width = bin_width
+        self.counts = np.zeros(nbins, dtype=np.int64)
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, sample: Number) -> None:
+        idx = int(sample) // self.bin_width
+        if idx >= len(self.counts):
+            idx = len(self.counts) - 1
+        elif idx < 0:
+            idx = 0
+        self.counts[idx] += 1
+        self._n += 1
+        delta = sample - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (sample - self._mean)
+        if self._min is None or sample < self._min:
+            self._min = float(sample)
+        if self._max is None or sample > self._max:
+            self._max = float(sample)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self._n if self._n else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from bin midpoints (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be within [0, 100]")
+        if self._n == 0:
+            return 0.0
+        target = self._n * q / 100.0
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, target, side="left"))
+        idx = min(idx, len(self.counts) - 1)
+        return (idx + 0.5) * self.bin_width
+
+    def reset(self) -> None:
+        self.counts[:] = 0
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = None
+        self._max = None
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self._n}, mean={self.mean:.2f})"
+
+
+class StatGroup:
+    """Named collection of counters and histograms.
+
+    Components create one group each (``vault3.stats``), register their
+    counters once at construction time, and bump ``counter.value`` directly in
+    hot paths (no dict lookups per event).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create a counter."""
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self._counters[name] = c
+        return c
+
+    def histogram(self, name: str, nbins: int = 64, bin_width: int = 16) -> Histogram:
+        """Get-or-create a histogram."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = Histogram(name, nbins=nbins, bin_width=bin_width)
+            self._histograms[name] = h
+        return h
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for h in self._histograms.values():
+            h.reset()
+
+    def as_dict(self) -> Dict[str, Number]:
+        """Flatten to ``{name: value}`` (histograms contribute mean/n)."""
+        out: Dict[str, Number] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, h in self._histograms.items():
+            out[f"{name}.n"] = h.n
+            out[f"{name}.mean"] = h.mean
+        return out
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate another group's counters into this one (for per-vault
+        aggregation).  Histograms merge counts and moments approximately by
+        re-adding means; exact merge is not needed for reporting."""
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, h in other._histograms.items():
+            mine = self.histogram(name, nbins=len(h.counts), bin_width=h.bin_width)
+            if len(mine.counts) == len(h.counts) and mine.bin_width == h.bin_width:
+                mine.counts += h.counts
+            # merge running moments via pooled update
+            n1, n2 = mine._n, h._n
+            if n2:
+                delta = h._mean - mine._mean
+                tot = n1 + n2
+                mine._mean += delta * n2 / tot
+                mine._m2 += h._m2 + delta * delta * n1 * n2 / tot
+                mine._n = tot
+                if mine._min is None or (h._min is not None and h._min < mine._min):
+                    mine._min = h._min
+                if mine._max is None or (h._max is not None and h._max > mine._max):
+                    mine._max = h._max
+
+    def __repr__(self) -> str:
+        return (
+            f"StatGroup({self.name}, counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports per-workload speedups this way."""
+    vals: List[float] = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(vals))))

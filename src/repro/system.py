@@ -1,0 +1,342 @@
+"""Full-system assembly: cores + (optional) cache hierarchy + HMC.
+
+:class:`System` wires one :class:`~repro.sim.engine.Engine` to eight
+trace-driven cores, the host controller, and an :class:`~repro.hmc.device.
+HMCDevice` running a chosen prefetching scheme, runs the simulation to
+completion, and returns a :class:`SimulationResult` with everything the
+paper's figures need (per-core IPC, conflict rate, prefetch accuracy, AMAT,
+energy).
+
+Two memory front-ends are available:
+
+* ``use_caches=False`` (default for experiments) - traces are *post-LLC*
+  reference streams (the generators are calibrated at that level); cores
+  talk straight to the HMC host controller.  This matches how the paper's
+  numbers are produced: every evaluated statistic lives below the LLC.
+* ``use_caches=True`` - traces are raw reference streams filtered through
+  the full L1/L2/L3 hierarchy of Table I (used by integration tests and the
+  cache-mode example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cpu.core import Core, CoreParams, MemoryPort
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyParams
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.host import HostController
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine
+from repro.sim.sampler import Sampler
+from repro.sim.stats import geomean
+from repro.workloads.trace import Trace
+
+
+class DirectPort(MemoryPort):
+    """Post-LLC front-end: every trace record is one HMC transaction."""
+
+    def __init__(self, host: HostController, engine: Engine) -> None:
+        self.host = host
+        self.engine = engine
+
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        on_fill: Callable[[MemoryRequest], None],
+    ) -> Optional[int]:
+        req = MemoryRequest(
+            addr=addr,
+            is_write=False,
+            core_id=core_id,
+            issue_cycle=self.engine.now,
+            callback=on_fill,
+        )
+        self.host.send(req)
+        return None
+
+    def store(self, core_id: int, addr: int) -> None:
+        req = MemoryRequest(
+            addr=addr, is_write=True, core_id=core_id, issue_cycle=self.engine.now
+        )
+        self.host.send(req)
+
+
+class HierarchyPort(MemoryPort):
+    """Full-hierarchy front-end: records filter through L1/L2/L3 first."""
+
+    def __init__(self, hierarchy: CacheHierarchy, engine: Engine) -> None:
+        self.hierarchy = hierarchy
+        self.engine = engine
+
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        on_fill: Callable[[MemoryRequest], None],
+    ) -> Optional[int]:
+        res = self.hierarchy.access(core_id, addr, is_write=False, on_fill=on_fill)
+        if res.level == "MEM":
+            return None
+        return self.engine.now + res.latency
+
+    def store(self, core_id: int, addr: int) -> None:
+        self.hierarchy.access(core_id, addr, is_write=True, on_fill=None)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated system."""
+
+    hmc: HMCConfig = field(default_factory=HMCConfig)
+    core_params: CoreParams = field(default_factory=CoreParams)
+    hierarchy_params: HierarchyParams = field(default_factory=HierarchyParams)
+    scheme: str = "camps-mod"
+    use_caches: bool = False
+    record_commands: bool = False
+    #: zero all measurement counters at this cycle (warmup boundary); the
+    #: paper warms its caches before detailed simulation - this is the
+    #: equivalent knob for the memory-side statistics.  Core IPC is always
+    #: whole-run.
+    stats_warmup_cycles: Optional[int] = None
+    #: sample queue depth / buffer occupancy every N cycles (None = off);
+    #: results appear in SimulationResult.extra["samples"]
+    sample_interval: Optional[int] = None
+    #: keep every completed MemoryRequest on the host for post-run latency
+    #: analysis (repro.metrics.latency); costs memory proportional to trace
+    record_requests: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one System.run()."""
+
+    scheme: str
+    workload: str
+    cycles: int
+    core_ipc: List[float]
+    core_instructions: List[int]
+    conflict_rate: float
+    row_conflicts: int
+    demand_accesses: int
+    buffer_hits: int
+    prefetches_issued: int
+    row_accuracy: float
+    line_accuracy: float
+    mean_memory_latency: float
+    mean_read_latency: float
+    energy_pj: float
+    energy_breakdown: Dict[str, float]
+    link_utilization: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def geomean_ipc(self) -> float:
+        return geomean(self.core_ipc)
+
+    def speedup_vs(self, baseline: "SimulationResult") -> float:
+        """Geometric-mean per-core IPC ratio against a baseline run (the
+        paper's Figure 5 metric, normalized per workload)."""
+        if len(self.core_ipc) != len(baseline.core_ipc):
+            raise ValueError("core counts differ")
+        return geomean(
+            [a / b for a, b in zip(self.core_ipc, baseline.core_ipc)]
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "geomean_ipc": self.geomean_ipc,
+            "conflict_rate": self.conflict_rate,
+            "row_accuracy": self.row_accuracy,
+            "mean_read_latency": self.mean_read_latency,
+            "energy_pj": self.energy_pj,
+        }
+
+
+class System:
+    """One simulated machine: build, run once, read the result."""
+
+    def __init__(
+        self,
+        traces: List[Trace],
+        config: Optional[SystemConfig] = None,
+        workload: str = "custom",
+        scheme_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one core trace")
+        self.config = config or SystemConfig()
+        self.workload = workload
+        self.engine = Engine()
+        self.device = HMCDevice(
+            self.config.hmc,
+            self.engine,
+            scheme=self.config.scheme,
+            scheme_kwargs=scheme_kwargs,
+            record_commands=self.config.record_commands,
+        )
+        self.host = HostController(
+            self.config.hmc,
+            self.engine,
+            self.device,
+            record_requests=self.config.record_requests,
+        )
+        self.hierarchy: Optional[CacheHierarchy] = None
+        port: MemoryPort
+        if self.config.use_caches:
+            self.hierarchy = CacheHierarchy(
+                self.config.hierarchy_params,
+                num_cores=len(traces),
+                engine=self.engine,
+                send_fn=self.host.send,
+            )
+            port = HierarchyPort(self.hierarchy, self.engine)
+        else:
+            port = DirectPort(self.host, self.engine)
+        self.cores: List[Core] = [
+            Core(
+                core_id=i,
+                engine=self.engine,
+                mem=port,
+                gaps=t.gaps,
+                addrs=t.addrs,
+                writes=t.writes,
+                params=self.config.core_params,
+            )
+            for i, t in enumerate(traces)
+        ]
+        self.sampler: Optional[Sampler] = None
+        if self.config.sample_interval is not None:
+            self.sampler = Sampler(self.engine, self.config.sample_interval)
+            self.sampler.probe(
+                "queue_depth",
+                lambda: sum(len(vc.queues) for vc in self.device.vaults),
+            )
+            self.sampler.probe(
+                "buffer_occupancy",
+                lambda: sum(
+                    len(vc.buffer) for vc in self.device.vaults if vc.buffer
+                ),
+            )
+            self.sampler.probe("host_outstanding", lambda: self.host.outstanding)
+        self._ran = False
+
+    def run(self, max_events: Optional[int] = None) -> SimulationResult:
+        """Run to completion (all cores retire all trace records)."""
+        if self._ran:
+            raise RuntimeError("System.run() may only be called once")
+        self._ran = True
+        if self.config.stats_warmup_cycles is not None:
+            self.engine.schedule(
+                self.config.stats_warmup_cycles,
+                self._warmup_boundary,
+                priority=-10,
+                weak=True,
+            )
+        if self.sampler is not None:
+            self.sampler.start()
+        for core in self.cores:
+            core.start()
+        self.engine.run(max_events=max_events)
+        stuck = [c.core_id for c in self.cores if not c.done]
+        if stuck:
+            raise RuntimeError(
+                f"simulation drained with unfinished cores {stuck}; "
+                f"events={self.engine.events_fired}"
+            )
+        self.device.finalize()
+        return self._collect()
+
+    def _warmup_boundary(self) -> None:
+        self.device.reset_statistics()
+        self.host.reset_statistics()
+
+    def _collect(self) -> SimulationResult:
+        dev = self.device
+        extra: Dict[str, Any] = {
+            "events_fired": self.engine.events_fired,
+            "core_stall_cycles": [c.stall_cycles for c in self.cores],
+            "core_rob_stalls": [c.rob_stalls for c in self.cores],
+            "core_mlp_stalls": [c.mlp_stalls for c in self.cores],
+        }
+        if self.hierarchy is not None:
+            extra["llc_misses"] = self.hierarchy.llc_misses()
+            extra["llc_hit_rate"] = self.hierarchy.l3.hit_rate()
+        if self.sampler is not None:
+            extra["samples"] = {
+                name: {"mean": h.mean, "max": h.max, "n": h.n}
+                for name, h in self.sampler.histograms().items()
+            }
+        # bank row-buffer outcome distribution (hit / empty / conflict)
+        hits = empties = conflicts = 0
+        for vc in self.device.vaults:
+            for b in vc.banks:
+                hits += b.hits
+                empties += b.empties
+                conflicts += b.conflicts
+        extra["bank_outcomes"] = {
+            "hits": hits,
+            "empties": empties,
+            "conflicts": conflicts,
+        }
+        extra["tsv_bus_utilization"] = (
+            sum(vc.tsv_bus.utilization(self.engine.now) for vc in self.device.vaults)
+            / len(self.device.vaults)
+            if self.engine.now
+            else 0.0
+        )
+        # scheme-specific decision breakdown (CAMPS's two trigger paths)
+        pf0 = self.device.vaults[0].prefetcher
+        if hasattr(pf0, "utilization_prefetches"):
+            extra["utilization_prefetches"] = sum(
+                vc.prefetcher.utilization_prefetches for vc in self.device.vaults
+            )
+            extra["conflict_prefetches"] = sum(
+                vc.prefetcher.conflict_prefetches for vc in self.device.vaults
+            )
+        if hasattr(pf0, "degree"):
+            extra["mmd_final_degrees"] = [
+                vc.prefetcher.degree for vc in self.device.vaults
+            ]
+        return SimulationResult(
+            scheme=self.config.scheme,
+            workload=self.workload,
+            cycles=self.engine.now,
+            core_ipc=[c.ipc for c in self.cores],
+            core_instructions=[c.instr for c in self.cores],
+            conflict_rate=dev.conflict_rate(),
+            row_conflicts=dev.row_conflicts,
+            demand_accesses=dev.demand_accesses,
+            buffer_hits=dev.buffer_hits,
+            prefetches_issued=dev.prefetches_issued(),
+            row_accuracy=dev.prefetch_row_accuracy(),
+            line_accuracy=dev.prefetch_line_accuracy(),
+            mean_memory_latency=self.host.mean_memory_latency(),
+            mean_read_latency=self.host.mean_read_latency(),
+            energy_pj=dev.energy.total_pj(),
+            energy_breakdown=dev.energy.breakdown_pj(),
+            link_utilization=self.host.link_utilization(),
+            extra=extra,
+        )
+
+
+def run_system(
+    traces: List[Trace],
+    scheme: str,
+    workload: str = "custom",
+    hmc: Optional[HMCConfig] = None,
+    use_caches: bool = False,
+    core_params: Optional[CoreParams] = None,
+    scheme_kwargs: Optional[Dict[str, Any]] = None,
+) -> SimulationResult:
+    """Build-and-run convenience wrapper (the main public entry point)."""
+    cfg = SystemConfig(
+        hmc=hmc or HMCConfig(),
+        core_params=core_params or CoreParams(),
+        scheme=scheme,
+        use_caches=use_caches,
+    )
+    return System(traces, cfg, workload=workload, scheme_kwargs=scheme_kwargs).run()

@@ -1,0 +1,13 @@
+"""Vault controllers: queues, FR-FCFS scheduling and the prefetch engine.
+
+Each of the 32 vaults is functionally independent (paper Section 2.1): it
+owns 16 banks, a read queue and a write queue of 32 entries each, an
+FR-FCFS scheduler with an open-page policy, and - the subject of the paper -
+a prefetch engine with a 16 KB prefetch buffer in the vault's logic base.
+"""
+
+from repro.vault.queues import VaultQueues
+from repro.vault.scheduler import FRFCFSScheduler
+from repro.vault.controller import VaultController
+
+__all__ = ["VaultQueues", "FRFCFSScheduler", "VaultController"]

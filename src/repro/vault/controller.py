@@ -1,0 +1,292 @@
+"""The vault controller: where the paper's scheme actually lives.
+
+A vault controller owns 16 banks, bounded read/write queues, an FR-FCFS
+scheduler and - per the paper - the prefetch engine: a 16-entry row-granular
+prefetch buffer plus whatever scheme-specific tables the bound
+:class:`~repro.core.prefetcher.Prefetcher` carries (RUT/CT for CAMPS).
+
+Event flow per demand request:
+
+1. ``receive(req)`` at the request's vault-arrival cycle.  The prefetch
+   buffer is probed first (22-cycle hit latency, Table I); hits never touch
+   a bank.
+2. Misses enter the bounded queues; ``_try_issue`` lets every idle bank
+   accept its best FR-FCFS candidate.
+3. ``_access_done`` fires when a bank access completes: the prefetcher hook
+   runs, returned row fetches execute on the banks (internal TSV transfers,
+   never the external links), the response is handed back to the device, and
+   issuing continues.
+
+The controller schedules at most one "wake" event at a time (the earliest
+cycle a queued request's bank frees), so the event count stays ~2-3 per
+request regardless of queue depth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.buffer import PrefetchBuffer
+from repro.core.prefetcher import PrefetchAction, Prefetcher
+from repro.dram.bank import AccessKind, AccessResult, Bank
+from repro.dram.bus import TsvBus
+from repro.hmc.config import HMCConfig
+from repro.request import MemoryRequest, ServiceSource
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import StatGroup
+from repro.vault.queues import VaultQueues
+from repro.vault.scheduler import FRFCFSScheduler
+
+RespondFn = Callable[[MemoryRequest, int], None]
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+class VaultController:
+    """One vault's controller, scheduler and prefetch engine."""
+
+    def __init__(
+        self,
+        vault_id: int,
+        config: HMCConfig,
+        engine: Engine,
+        prefetcher: Prefetcher,
+        respond_fn: RespondFn,
+        record_commands: bool = False,
+    ) -> None:
+        self.vault_id = vault_id
+        self.config = config
+        self.engine = engine
+        self.respond_fn = respond_fn
+        # All banks in a vault share one TSV data bundle to the logic base;
+        # whole-row prefetch transfers and demand bursts contend for it.
+        self.tsv_bus = TsvBus(vault_id)
+        self.banks: List[Bank] = [
+            Bank(
+                i,
+                config.timings,
+                record_commands=record_commands,
+                bus=self.tsv_bus,
+                closed_page=config.page_policy == "closed",
+            )
+            for i in range(config.banks_per_vault)
+        ]
+        self.queues = VaultQueues(
+            read_depth=config.read_queue_depth,
+            write_depth=config.write_queue_depth,
+        )
+        self.scheduler = FRFCFSScheduler(self.banks, self.queues)
+        self.prefetcher = prefetcher
+        prefetcher.bind(self)
+        self.buffer: Optional[PrefetchBuffer] = None
+        if prefetcher.uses_buffer:
+            self.buffer = PrefetchBuffer(
+                entries=config.pf_buffer_entries,
+                lines_per_row=config.lines_per_row,
+                policy=prefetcher.make_policy(),
+            )
+        self.stats = StatGroup(f"vault{vault_id}")
+        self._c_reads = self.stats.counter("demand_reads")
+        self._c_writes = self.stats.counter("demand_writes")
+        self._c_buf_hits = self.stats.counter("buffer_hits")
+        self._c_buf_inflight = self.stats.counter("buffer_inflight_hits")
+        self._c_prefetch_rows = self.stats.counter("prefetch_row_fetches")
+        self._c_prefetch_lines = self.stats.counter("prefetch_lines")
+        self._c_writebacks = self.stats.counter("dirty_row_writebacks")
+        self._wake: Optional[Event] = None
+        self._inflight = 0  # bank accesses with a pending completion event
+        if config.refresh_enabled:
+            # Stagger per-bank refreshes across the tREFI window so the
+            # vault never refreshes every bank at once.
+            step = max(1, config.timings.trefi_cpu // config.banks_per_vault)
+            for i in range(config.banks_per_vault):
+                engine.schedule(
+                    (i + 1) * step, self._refresh_bank, i, priority=2, weak=True
+                )
+
+    # ------------------------------------------------------------------
+    # External interface (called by the HMC device)
+    # ------------------------------------------------------------------
+    def receive(self, req: MemoryRequest) -> None:
+        """A request packet arrived from the crossbar at ``engine.now``."""
+        now = self.engine.now
+        req.vault_arrive_cycle = now
+        if self.buffer is not None:
+            entry = self.buffer.lookup(req.bank, req.row, req.column, req.is_write)
+            if entry is not None:
+                if entry.ready_time > now:
+                    req.source = ServiceSource.ROW_IN_FLIGHT
+                    self._c_buf_inflight.inc()
+                else:
+                    req.source = ServiceSource.PREFETCH_BUFFER
+                self._c_buf_hits.inc()
+                self.prefetcher.on_buffer_hit(
+                    req.bank, req.row, req.column, req.is_write, now
+                )
+                serve = max(now, entry.ready_time) + self.config.pf_hit_latency
+                self.respond_fn(req, serve)
+                return
+        self.queues.admit(req)
+        self._try_issue()
+
+    def pending_row_requests(self, bank: int, row: int) -> int:
+        """Read-queue occupancy for one row (the BASE-HIT trigger input)."""
+        return self.queues.count_row_reads(bank, row)
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def _refresh_bank(self, bank_id: int) -> None:
+        """Per-bank REFRESH, re-armed every tREFI (paper Section 2.1: the
+        vault controller manages refreshing)."""
+        self.banks[bank_id].refresh(self.engine.now)
+        self.engine.schedule(
+            self.config.timings.trefi_cpu,
+            self._refresh_bank,
+            bank_id,
+            priority=2,
+            weak=True,
+        )
+        self._arm_wake()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _try_issue(self) -> None:
+        now = self.engine.now
+        while True:
+            req = self.scheduler.next_request(now)
+            if req is None:
+                break
+            # NOTE: the buffer is probed at request *arrival* only (receive).
+            # A request that missed and entered the queue is committed to the
+            # bank path even if its row is prefetched meanwhile - this
+            # mirrors the paper's design and is why BASE-HIT's queue-triggered
+            # prefetches are largely wasted there (Fig. 7).
+            bank = self.banks[req.bank]
+            kind = AccessKind.WRITE if req.is_write else AccessKind.READ
+            result = bank.access(kind, req.row, now)
+            self._inflight += 1
+            self.engine.schedule_at(
+                result.finish, self._access_done, req, result, priority=-1
+            )
+            self.queues.promote()
+        self.queues.promote()
+        self._arm_wake()
+
+    def _arm_wake(self) -> None:
+        """Keep exactly one wake event at the earliest useful cycle."""
+        if self._inflight:
+            # A completion event will re-run _try_issue anyway; an extra
+            # wake is only needed when banks are busy solely due to
+            # prefetch transfers (which have no completion events).
+            pass
+        t = self.scheduler.earliest_wakeup(self.engine.now)
+        if t is None:
+            return
+        if self._wake is not None and not self._wake.cancelled:
+            if self._wake.time <= t:
+                return
+            self._wake.cancel()
+        self._wake = self.engine.schedule_at(t, self._wake_fired, priority=1)
+
+    def _wake_fired(self) -> None:
+        self._wake = None
+        self._try_issue()
+
+    # ------------------------------------------------------------------
+    # Completion + prefetch execution
+    # ------------------------------------------------------------------
+    def _access_done(self, req: MemoryRequest, result: AccessResult) -> None:
+        now = self.engine.now
+        self._inflight -= 1
+        if req.is_write:
+            self._c_writes.inc()
+        else:
+            self._c_reads.inc()
+        req.source = ServiceSource.BANK
+
+        actions = self.prefetcher.on_demand_access(
+            req.bank, req.row, req.column, req.is_write, result.outcome, now
+        )
+        for action in actions:
+            self._execute_prefetch(action, now)
+
+        self.respond_fn(req, now)
+        self._try_issue()
+
+    def _execute_prefetch(self, action: PrefetchAction, now: int) -> None:
+        if self.buffer is None:
+            return
+        bank = self.banks[action.bank]
+        full = (1 << self.config.lines_per_row) - 1
+        if action.line_mask == full:
+            result = bank.fetch_row(action.row, now)
+        else:
+            result = bank.fetch_lines(
+                action.row,
+                _popcount(action.line_mask),
+                now,
+                precharge_after=action.precharge_after,
+            )
+        self._c_prefetch_rows.inc()
+        self._c_prefetch_lines.inc(_popcount(action.line_mask))
+        victim = self.buffer.insert(
+            action.bank, action.row, action.line_mask, result.finish, now
+        )
+        if action.seed_ref_mask:
+            entry = self.buffer.get(action.bank, action.row)
+            if entry is not None:
+                entry.seed_ref(action.seed_ref_mask)
+        if victim is not None and victim.is_dirty:
+            # Dirty prefetched rows are restored to their bank on eviction.
+            self.banks[victim.bank].restore_row(victim.row, now)
+            self._c_writebacks.inc()
+
+    # ------------------------------------------------------------------
+    # End-of-run reporting
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Zero all measurement counters (banks, buffer, scheduler, bus)
+        while preserving simulation state - the warmup boundary."""
+        self.stats.reset()
+        for b in self.banks:
+            b.reset_counters()
+        if self.buffer is not None:
+            self.buffer.reset_accounting()
+        self.prefetcher.prefetches_issued = 0
+        self.scheduler.row_hit_issues = 0
+        self.scheduler.fcfs_issues = 0
+        self.scheduler.drain_entries = 0
+        self.tsv_bus.reservations = 0
+        self.tsv_bus.busy_cycles = 0
+
+    def finalize(self) -> None:
+        """Flush accuracy accounting for rows still resident in the buffer."""
+        if self.buffer is not None:
+            self.buffer.finalize()
+
+    @property
+    def demand_accesses(self) -> int:
+        """Bank-level demand accesses (buffer hits excluded)."""
+        return sum(b.demand_accesses for b in self.banks)
+
+    @property
+    def row_conflicts(self) -> int:
+        return sum(b.conflicts for b in self.banks)
+
+    def conflict_rate(self) -> float:
+        """Row-buffer conflicts per *demand request to the vault*, buffer
+        hits included in the denominator: serving a request from the
+        prefetch buffer is precisely how a scheme avoids a conflict, so the
+        rate is measured against all traffic the vault absorbed."""
+        total = self.demand_accesses + self._c_buf_hits.value
+        return self.row_conflicts / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VaultController {self.vault_id} scheme={self.prefetcher.name} "
+            f"pending={len(self.queues)}>"
+        )

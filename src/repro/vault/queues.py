@@ -1,0 +1,125 @@
+"""Bounded read/write request queues for a vault controller.
+
+Table I specifies 32-entry read and write queues per vault.  Arrivals beyond
+capacity wait in an input staging FIFO (modeling link-side backpressure) and
+are promoted as the scheduler drains the bounded queues.  Occupancy highs and
+admission stalls are tracked for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.request import MemoryRequest
+
+
+class VaultQueues:
+    """Read queue + write queue + overflow staging for one vault."""
+
+    def __init__(self, read_depth: int = 32, write_depth: int = 32) -> None:
+        if read_depth < 1 or write_depth < 1:
+            raise ValueError("queue depths must be >= 1")
+        self.read_depth = read_depth
+        self.write_depth = write_depth
+        self.reads: Deque[MemoryRequest] = deque()
+        self.writes: Deque[MemoryRequest] = deque()
+        self.staging: Deque[MemoryRequest] = deque()
+        # statistics
+        self.admitted = 0
+        self.staged = 0
+        self.max_read_occupancy = 0
+        self.max_write_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, req: MemoryRequest) -> bool:
+        """Try to place a request into its bounded queue.  Returns False (and
+        stages the request) when the queue is full."""
+        if self._try_place(req):
+            return True
+        self.staging.append(req)
+        self.staged += 1
+        return False
+
+    def _try_place(self, req: MemoryRequest) -> bool:
+        if req.is_write:
+            if len(self.writes) >= self.write_depth:
+                return False
+            self.writes.append(req)
+            if len(self.writes) > self.max_write_occupancy:
+                self.max_write_occupancy = len(self.writes)
+        else:
+            if len(self.reads) >= self.read_depth:
+                return False
+            self.reads.append(req)
+            if len(self.reads) > self.max_read_occupancy:
+                self.max_read_occupancy = len(self.reads)
+        self.admitted += 1
+        return True
+
+    def promote(self) -> int:
+        """Move staged requests into the bounded queues, in order, while
+        space allows.  Returns how many were promoted."""
+        moved = 0
+        # Requests must not leapfrog same-direction requests in staging, so
+        # stop promoting a direction at its first blocked request.
+        blocked_read = False
+        blocked_write = False
+        remaining: Deque[MemoryRequest] = deque()
+        while self.staging:
+            req = self.staging.popleft()
+            if req.is_write:
+                if not blocked_write and self._try_place(req):
+                    moved += 1
+                    continue
+                blocked_write = True
+            else:
+                if not blocked_read and self._try_place(req):
+                    moved += 1
+                    continue
+                blocked_read = True
+            remaining.append(req)
+        self.staging = remaining
+        return moved
+
+    # ------------------------------------------------------------------
+    # Removal (the scheduler pops by identity after choosing)
+    # ------------------------------------------------------------------
+    def remove(self, req: MemoryRequest) -> None:
+        q = self.writes if req.is_write else self.reads
+        try:
+            q.remove(req)
+        except ValueError:
+            raise ValueError(f"request {req!r} not queued") from None
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.reads) + len(self.writes) + len(self.staging)
+
+    @property
+    def total_pending(self) -> int:
+        return len(self)
+
+    def iter_reads(self) -> Iterator[MemoryRequest]:
+        return iter(self.reads)
+
+    def iter_writes(self) -> Iterator[MemoryRequest]:
+        return iter(self.writes)
+
+    def count_row_reads(self, bank: int, row: int) -> int:
+        """Read-queue requests targeting (bank, row) - BASE-HIT's signal."""
+        return sum(1 for r in self.reads if r.bank == bank and r.row == row)
+
+    def oldest_read(self) -> Optional[MemoryRequest]:
+        return self.reads[0] if self.reads else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VaultQueues R={len(self.reads)}/{self.read_depth} "
+            f"W={len(self.writes)}/{self.write_depth} "
+            f"staged={len(self.staging)}>"
+        )

@@ -1,0 +1,107 @@
+"""FR-FCFS memory access scheduling (Rixner et al., ISCA 2000 - Table I).
+
+First-Ready means a request whose bank can accept a command *now* and whose
+row is already open bypasses older requests; among equally ready requests the
+oldest wins.  Reads have priority over writes except when the write queue
+passes its high watermark, after which writes drain until the low watermark
+(standard write-drain hysteresis; the paper's Table I gives 32-entry queues).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dram.bank import Bank
+from repro.request import MemoryRequest
+from repro.vault.queues import VaultQueues
+
+
+class FRFCFSScheduler:
+    """Chooses the next request a vault controller should issue."""
+
+    def __init__(
+        self,
+        banks: Sequence[Bank],
+        queues: VaultQueues,
+        write_high_watermark: Optional[int] = None,
+        write_low_watermark: Optional[int] = None,
+    ) -> None:
+        self.banks = banks
+        self.queues = queues
+        depth = queues.write_depth
+        self.write_high = (
+            write_high_watermark if write_high_watermark is not None else (3 * depth) // 4
+        )
+        self.write_low = (
+            write_low_watermark if write_low_watermark is not None else depth // 4
+        )
+        if not 0 <= self.write_low <= self.write_high <= depth:
+            raise ValueError("watermarks must satisfy 0 <= low <= high <= depth")
+        self.draining = False
+        # statistics
+        self.row_hit_issues = 0
+        self.fcfs_issues = 0
+        self.drain_entries = 0
+
+    # ------------------------------------------------------------------
+    def _update_drain_state(self) -> None:
+        pending_writes = len(self.queues.writes)
+        if not self.draining and pending_writes >= self.write_high:
+            self.draining = True
+            self.drain_entries += 1
+        elif self.draining and pending_writes <= self.write_low:
+            self.draining = False
+
+    def _pick(self, queue: Sequence[MemoryRequest], now: int) -> Optional[MemoryRequest]:
+        """FR-FCFS over one queue: oldest ready row-hit, else oldest ready."""
+        oldest_ready: Optional[MemoryRequest] = None
+        for req in queue:
+            bank = self.banks[req.bank]
+            if bank.busy_until > now:
+                continue
+            if bank.open_row == req.row:
+                return req  # first (= oldest) ready row hit
+            if oldest_ready is None:
+                oldest_ready = req
+        return oldest_ready
+
+    def next_request(self, now: int) -> Optional[MemoryRequest]:
+        """The request to issue at ``now``, already removed from its queue;
+        None when nothing can issue."""
+        self._update_drain_state()
+        q = self.queues
+
+        order = (
+            (q.writes, q.reads) if self.draining else (q.reads, q.writes)
+        )
+        for queue in order:
+            req = self._pick(queue, now)
+            if req is not None:
+                bank = self.banks[req.bank]
+                if bank.open_row == req.row:
+                    self.row_hit_issues += 1
+                else:
+                    self.fcfs_issues += 1
+                q.remove(req)
+                return req
+        return None
+
+    def earliest_wakeup(self, now: int) -> Optional[int]:
+        """The soonest future cycle at which a queued request's bank frees
+        up.  None when queues are empty or some bank is already idle (in
+        which case issuing should happen now, not later)."""
+        best: Optional[int] = None
+        for queue in (self.queues.reads, self.queues.writes):
+            for req in queue:
+                t = self.banks[req.bank].busy_until
+                if t <= now:
+                    return None  # something is issueable right now
+                if best is None or t < best:
+                    best = t
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FRFCFS hits={self.row_hit_issues} fcfs={self.fcfs_issues} "
+            f"draining={self.draining}>"
+        )

@@ -1,0 +1,36 @@
+"""Workload synthesis: SPEC-CPU2006-like memory traces and the Table II mixes.
+
+The paper drives gem5 with SPEC CPU2006 binaries; those binaries and their
+traces are not redistributable, so this package synthesizes post-LLC memory
+reference streams whose *memory-side* statistics match each benchmark's
+published character: misses-per-kilo-instruction class (the paper's HM/LM
+split at MPKI 20 and 1), spatial locality within DRAM rows, row-buffer
+conflict propensity, and write fraction.  Those are exactly the properties
+CAMPS's mechanisms (RUT utilization threshold, CT conflict detection) key
+off, so the substitution preserves the comparison the paper makes.
+"""
+
+from repro.workloads.trace import Trace, trace_stats
+from repro.workloads.spec import BenchmarkProfile, PROFILES, profile
+from repro.workloads.synthetic import TraceGenerator, generate_trace
+from repro.workloads.mixes import MIXES, HM_MIXES, LM_MIXES, MX_MIXES, mix, mix_names
+from repro.workloads.analysis import RowBufferProfile, analyze_mix, analyze_row_buffer
+
+__all__ = [
+    "Trace",
+    "trace_stats",
+    "BenchmarkProfile",
+    "PROFILES",
+    "profile",
+    "TraceGenerator",
+    "generate_trace",
+    "MIXES",
+    "HM_MIXES",
+    "LM_MIXES",
+    "MX_MIXES",
+    "mix",
+    "mix_names",
+    "RowBufferProfile",
+    "analyze_mix",
+    "analyze_row_buffer",
+]

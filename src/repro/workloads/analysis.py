@@ -1,0 +1,141 @@
+"""Standalone row-buffer analysis of a trace (no full simulation needed).
+
+Replays a trace against functional per-bank row-buffer state - no timing, no
+queues - and reports the hit/empty/conflict distribution, per-row utilization
+and conflict-row revisit statistics.  This answers "what would CAMPS see in
+this workload?" in milliseconds, which is how the synthetic generators were
+calibrated and how a user can sanity-check their own traces before a full
+run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class RowBufferProfile:
+    """Functional row-buffer behaviour of one trace."""
+
+    accesses: int
+    hits: int
+    empties: int
+    conflicts: int
+    distinct_rows: int
+    #: rows conflicted out and later re-activated (the CT's catchable set)
+    conflict_revisit_rows: int
+    #: distribution of distinct lines touched per row visit (RUT's signal)
+    visit_utilization: Dict[int, int]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.conflicts / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_visit_utilization(self) -> float:
+        total = sum(k * v for k, v in self.visit_utilization.items())
+        visits = sum(self.visit_utilization.values())
+        return total / visits if visits else 0.0
+
+    def rut_trigger_fraction(self, threshold: int = 4) -> float:
+        """Fraction of row visits that would reach CAMPS's RUT threshold."""
+        visits = sum(self.visit_utilization.values())
+        if not visits:
+            return 0.0
+        eligible = sum(v for k, v in self.visit_utilization.items() if k >= threshold)
+        return eligible / visits
+
+    def summary(self) -> str:
+        return (
+            f"accesses={self.accesses} hit={self.hit_rate:.1%} "
+            f"conflict={self.conflict_rate:.1%} rows={self.distinct_rows} "
+            f"visit_util={self.mean_visit_utilization:.1f} "
+            f"rut4={self.rut_trigger_fraction():.1%} "
+            f"ct_catchable_rows={self.conflict_revisit_rows}"
+        )
+
+
+def analyze_row_buffer(
+    trace: Trace, config: Optional[HMCConfig] = None
+) -> RowBufferProfile:
+    """Replay the trace against open-page row buffers (one per bank)."""
+    cfg = config or HMCConfig()
+    m = AddressMapping(cfg)
+    vault, bank, row, column = m.decode_many(trace.addrs)
+    bank_id = vault * cfg.banks_per_vault + bank
+
+    open_row: Dict[int, int] = {}
+    hits = empties = conflicts = 0
+    # per (bank, row): the distinct-line mask of the current visit
+    visit_mask: Dict[int, int] = {}
+    visit_utilization: Counter = Counter()
+    conflicted_rows: set = set()
+    revisited_conflicted: set = set()
+    seen_rows: set = set()
+
+    for i in range(len(trace)):
+        b = int(bank_id[i])
+        r = int(row[i])
+        c = int(column[i])
+        seen_rows.add((b, r))
+        prev = open_row.get(b)
+        if prev is None:
+            empties += 1
+            if (b, r) in conflicted_rows:
+                revisited_conflicted.add((b, r))
+            visit_mask[b] = 0
+        elif prev == r:
+            hits += 1
+        else:
+            conflicts += 1
+            conflicted_rows.add((b, prev))
+            if (b, r) in conflicted_rows:
+                revisited_conflicted.add((b, r))
+            visit_utilization[bin(visit_mask.get(b, 0)).count("1")] += 1
+            visit_mask[b] = 0
+        open_row[b] = r
+        visit_mask[b] = visit_mask.get(b, 0) | (1 << c)
+
+    for mask in visit_mask.values():
+        if mask:
+            visit_utilization[bin(mask).count("1")] += 1
+
+    return RowBufferProfile(
+        accesses=len(trace),
+        hits=hits,
+        empties=empties,
+        conflicts=conflicts,
+        distinct_rows=len(seen_rows),
+        conflict_revisit_rows=len(revisited_conflicted),
+        visit_utilization=dict(visit_utilization),
+    )
+
+
+def analyze_mix(traces, config: Optional[HMCConfig] = None) -> RowBufferProfile:
+    """Row-buffer profile of several cores' traces interleaved round-robin
+    (approximates the multiprogrammed interleaving the banks actually see)."""
+    import numpy as np
+
+    if not traces:
+        raise ValueError("need at least one trace")
+    # round-robin merge by index
+    n = max(len(t) for t in traces)
+    gaps, addrs, writes = [], [], []
+    for i in range(n):
+        for t in traces:
+            if i < len(t):
+                gaps.append(int(t.gaps[i]))
+                addrs.append(int(t.addrs[i]))
+                writes.append(bool(t.writes[i]))
+    merged = Trace(np.array(gaps), np.array(addrs), np.array(writes), name="merged")
+    return analyze_row_buffer(merged, config)

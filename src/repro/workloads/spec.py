@@ -1,0 +1,165 @@
+"""SPEC CPU2006 benchmark profiles for the synthetic trace generators.
+
+Each profile captures the memory-side character of one benchmark as used by
+the paper's Table II mixes.  MPKI values follow the paper's classification
+(HM: MPKI >= 20, LM: 1 <= MPKI < 20); locality parameters follow each
+benchmark's well-documented behaviour (lbm sweeps ~19 lattice field arrays in
+lockstep, GemsFDTD updates several field arrays per cell, mcf/astar/omnetpp
+pointer-chase, h264ref works in a small hot set).
+
+Two mixture weights select between the generator components in
+:mod:`repro.workloads.synthetic`:
+
+* ``w_stream`` - lockstep aliased multi-stream sweeps: ``streams``
+  concurrent array streams that alias to the same bank at different rows,
+  interleaved in ``burst``-line turns, consuming ``lines_per_visit`` lines
+  per row.  This produces both high row utilization (the RUT's signal) and
+  conflict-then-revisit behaviour (the CT's signal).
+* ``w_random`` - uniform single-line references: prefetch-hostile traffic
+  that punishes indiscriminate whole-row schemes like BASE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator parameters for one SPEC CPU2006 benchmark."""
+
+    name: str
+    mpki: float  # LLC misses per kilo-instruction (paper's classifier)
+    write_frac: float  # fraction of references that are writebacks/stores
+    w_stream: float
+    w_random: float
+    w_hot: float  # persistently hot rows (hot program structures)
+    streams: int  # concurrent aliased array streams
+    burst: int  # lines per stream turn before switching streams
+    lines_per_visit: int  # distinct lines consumed per row visit
+    footprint_lines: int  # working set in cache lines
+    vault_window: int = 6  # vaults a phase's traffic concentrates in
+    hot_rows: int = 6  # persistently hot rows per core
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if not 0.0 <= self.write_frac <= 1.0:
+            raise ValueError("write_frac must be within [0, 1]")
+        if min(self.w_stream, self.w_random, self.w_hot) < 0:
+            raise ValueError("mixture weights must be non-negative")
+        if self.w_stream + self.w_random + self.w_hot <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.lines_per_visit < 1:
+            raise ValueError("lines_per_visit must be >= 1")
+        if self.footprint_lines < 1024:
+            raise ValueError("footprint_lines must be >= 1024")
+        if self.vault_window < 1:
+            raise ValueError("vault_window must be >= 1")
+        if self.hot_rows < 1:
+            raise ValueError("hot_rows must be >= 1")
+
+    @property
+    def weights(self) -> Tuple[float, float, float]:
+        total = self.w_stream + self.w_random + self.w_hot
+        return (
+            self.w_stream / total,
+            self.w_random / total,
+            self.w_hot / total,
+        )
+
+    @property
+    def memory_intensity(self) -> str:
+        """The paper's HM / LM classification."""
+        return "HM" if self.mpki >= 20 else "LM"
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean non-memory instructions between references."""
+        return max(0.0, 1000.0 / self.mpki - 1.0)
+
+
+def _p(name, mpki, wf, ws, wr, wh, streams, burst, lpv, fp, vw=6, hot=6) -> BenchmarkProfile:
+    return BenchmarkProfile(name, mpki, wf, ws, wr, wh, streams, burst, lpv, fp, vw, hot)
+
+
+#: All benchmarks appearing in the paper's Table II mixes.
+PROFILES: Dict[str, BenchmarkProfile] = {
+    # ---- high memory intensity (MPKI >= 20) ----------------------------
+    # bwaves: blast-wave CFD, a few wide unit-stride sweeps
+    "bwaves": _p("bwaves", 26.0, 0.28, 0.80, 0.12, 0.08, 3, 3, 16, 1 << 19),
+    # GemsFDTD: FDTD solver, many field arrays updated in lockstep
+    "gems": _p("gems", 30.0, 0.30, 0.74, 0.16, 0.10, 5, 2, 14, 1 << 19),
+    # gcc: compiler, hot IR structures plus pointer traffic
+    "gcc": _p("gcc", 21.0, 0.22, 0.50, 0.30, 0.20, 3, 2, 8, 1 << 18, 6, 8),
+    # lbm: lattice-Boltzmann, ~19 field arrays swept with heavy stores
+    "lbm": _p("lbm", 33.0, 0.45, 0.84, 0.10, 0.06, 6, 3, 16, 1 << 19),
+    # milc: lattice QCD, strided sweeps plus irregular gather
+    "milc": _p("milc", 25.0, 0.25, 0.62, 0.28, 0.10, 4, 2, 10, 1 << 19),
+    # sphinx3: speech recognition, model-matrix streaming
+    "sphinx": _p("sphinx", 22.0, 0.15, 0.63, 0.22, 0.15, 2, 2, 12, 1 << 18, 6, 8),
+    # omnetpp: discrete event simulation, pointer-heavy with hot queues
+    "omnetpp": _p("omnetpp", 21.0, 0.30, 0.38, 0.40, 0.22, 4, 1, 5, 1 << 18, 6, 10),
+    # mcf: single-depot vehicle scheduling, the classic pointer-chaser
+    "mcf": _p("mcf", 40.0, 0.24, 0.30, 0.55, 0.15, 2, 1, 3, 1 << 19, 6, 8),
+    # ---- low memory intensity (1 <= MPKI < 20) --------------------------
+    # cactusADM: numerical relativity, stencil streaming
+    "cactus": _p("cactus", 9.0, 0.32, 0.72, 0.18, 0.10, 4, 3, 16, 1 << 17),
+    # bzip2: compression, block-local with bursty reuse
+    "bzip2": _p("bzip2", 6.0, 0.28, 0.50, 0.32, 0.18, 2, 2, 7, 1 << 16, 6, 8),
+    # astar: path-finding, irregular graph walks
+    "astar": _p("astar", 4.0, 0.20, 0.32, 0.50, 0.18, 2, 1, 4, 1 << 16, 6, 8),
+    # wrf: weather model, stencil streaming
+    "wrf": _p("wrf", 9.5, 0.30, 0.70, 0.20, 0.10, 4, 2, 14, 1 << 17),
+    # tonto: quantum chemistry, small working set, mild streaming
+    "tonto": _p("tonto", 3.0, 0.22, 0.50, 0.34, 0.16, 2, 2, 7, 1 << 15),
+    # zeusmp: astrophysical CFD, lockstep field sweeps
+    "zeusmp": _p("zeusmp", 11.0, 0.30, 0.70, 0.20, 0.10, 3, 2, 14, 1 << 17),
+    # h264ref: video encoder, small hot working set
+    "h264ref": _p("h264ref", 2.0, 0.25, 0.50, 0.30, 0.20, 2, 2, 8, 1 << 15, 6, 8),
+    # ---- remaining SPEC CPU2006 benchmarks (not in the paper's Table II
+    # mixes; provided so custom mixes can draw on the full suite) ---------
+    # libquantum: quantum simulation, the classic pure stream
+    "libquantum": _p("libquantum", 28.0, 0.22, 0.86, 0.08, 0.06, 1, 4, 16, 1 << 19),
+    # soplex: LP solver, sparse matrix sweeps with irregular columns
+    "soplex": _p("soplex", 24.0, 0.20, 0.50, 0.38, 0.12, 3, 2, 8, 1 << 18),
+    # leslie3d: CFD, lockstep field sweeps
+    "leslie3d": _p("leslie3d", 19.0, 0.30, 0.72, 0.20, 0.08, 4, 3, 14, 1 << 18),
+    # xalancbmk: XML transformation, pointer-heavy with hot DOM nodes
+    "xalancbmk": _p("xalancbmk", 12.0, 0.25, 0.32, 0.46, 0.22, 2, 1, 4, 1 << 17, 6, 10),
+    # perlbench: interpreter, small hot set, light misses
+    "perlbench": _p("perlbench", 1.5, 0.28, 0.42, 0.36, 0.22, 2, 2, 6, 1 << 15, 6, 10),
+    # gobmk: game tree search, branchy with small working set
+    "gobmk": _p("gobmk", 1.2, 0.22, 0.38, 0.44, 0.18, 2, 1, 5, 1 << 15, 6, 8),
+    # hmmer: profile HMM search, tight hot loops
+    "hmmer": _p("hmmer", 1.0, 0.20, 0.52, 0.30, 0.18, 2, 2, 8, 1 << 15),
+    # sjeng: chess search, pointer-ish small footprint
+    "sjeng": _p("sjeng", 1.1, 0.22, 0.32, 0.48, 0.20, 2, 1, 4, 1 << 15, 6, 8),
+    # namd: molecular dynamics, compute bound with mild streaming
+    "namd": _p("namd", 1.4, 0.25, 0.58, 0.28, 0.14, 3, 2, 10, 1 << 16),
+    # dealII: FEM, moderate streaming over meshes
+    "dealII": _p("dealII", 6.5, 0.28, 0.58, 0.28, 0.14, 3, 2, 10, 1 << 16),
+    # gromacs: molecular dynamics, neighbour lists plus streams
+    "gromacs": _p("gromacs", 2.5, 0.26, 0.52, 0.33, 0.15, 3, 2, 9, 1 << 16),
+    # calculix: structural FEM, solver sweeps
+    "calculix": _p("calculix", 3.5, 0.27, 0.56, 0.28, 0.16, 3, 2, 10, 1 << 16),
+    # povray: ray tracing, tiny working set
+    "povray": _p("povray", 0.8, 0.20, 0.42, 0.40, 0.18, 2, 1, 5, 1 << 14, 6, 8),
+    # gamess: quantum chemistry, small hot matrices
+    "gamess": _p("gamess", 0.9, 0.24, 0.48, 0.34, 0.18, 2, 2, 7, 1 << 14),
+}
+
+
+def profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(PROFILES))}"
+        ) from None

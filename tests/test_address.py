@@ -1,0 +1,130 @@
+"""Unit + property tests for the RoRaBaVaCo address mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+
+
+@pytest.fixture
+def m():
+    return AddressMapping(HMCConfig())
+
+
+class TestFieldLayout:
+    def test_bit_widths(self, m):
+        assert m.offset_bits == 6  # 64 B lines
+        assert m.column_bits == 4  # 16 lines / 1 KB row
+        assert m.vault_bits == 5  # 32 vaults
+        assert m.bank_bits == 4  # 16 banks
+
+    def test_shift_order_ro_ba_va_co(self, m):
+        # RoRaBaVaCo: row above bank above vault above column
+        assert m.row_shift > m.bank_shift > m.vault_shift > m.column_shift
+
+    def test_address_zero(self, m):
+        d = m.decode(0)
+        assert (d.vault, d.bank, d.row, d.column) == (0, 0, 0, 0)
+
+    def test_consecutive_lines_walk_columns_first(self, m):
+        cfg = HMCConfig()
+        base = m.encode(3, 2, 10, 0)
+        for col in range(cfg.lines_per_row):
+            d = m.decode(base + col * cfg.line_bytes)
+            assert (d.vault, d.bank, d.row, d.column) == (3, 2, 10, col)
+
+    def test_after_row_of_lines_vault_increments(self, m):
+        cfg = HMCConfig()
+        addr = m.encode(0, 0, 0, cfg.lines_per_row - 1) + cfg.line_bytes
+        d = m.decode(addr)
+        assert (d.vault, d.bank, d.row, d.column) == (1, 0, 0, 0)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self, m):
+        addr = m.encode(7, 3, 99, 5)
+        d = m.decode(addr)
+        assert (d.vault, d.bank, d.row, d.column) == (7, 3, 99, 5)
+
+    def test_encode_validates_ranges(self, m):
+        with pytest.raises(ValueError):
+            m.encode(32, 0, 0, 0)
+        with pytest.raises(ValueError):
+            m.encode(0, 16, 0, 0)
+        with pytest.raises(ValueError):
+            m.encode(0, 0, 0, 16)
+        with pytest.raises(ValueError):
+            m.encode(0, 0, -1, 0)
+
+    def test_decode_rejects_negative(self, m):
+        with pytest.raises(ValueError):
+            m.decode(-1)
+
+    def test_line_address_rounds_down(self, m):
+        assert m.line_address(0x12345) == 0x12345 & ~0x3F
+
+    def test_row_key(self, m):
+        addr = m.encode(4, 9, 123, 7)
+        assert m.row_key(addr) == (4, 9, 123)
+
+    @given(
+        vault=st.integers(0, 31),
+        bank=st.integers(0, 15),
+        row=st.integers(0, 1 << 20),
+        column=st.integers(0, 15),
+    )
+    def test_roundtrip_property(self, vault, bank, row, column):
+        m = AddressMapping(HMCConfig())
+        d = m.decode(m.encode(vault, bank, row, column))
+        assert (d.vault, d.bank, d.row, d.column) == (vault, bank, row, column)
+
+    @given(addr=st.integers(0, (1 << 40) - 1))
+    def test_decode_encode_preserves_line(self, addr):
+        m = AddressMapping(HMCConfig())
+        d = m.decode(addr)
+        rebuilt = m.encode(d.vault, d.bank, d.row, d.column)
+        assert rebuilt == m.line_address(addr)
+
+
+class TestVectorized:
+    def test_decode_many_matches_scalar(self, m, rng):
+        addrs = rng.integers(0, 1 << 36, size=500)
+        v, b, r, c = m.decode_many(addrs)
+        for i in range(0, 500, 37):
+            d = m.decode(int(addrs[i]))
+            assert (v[i], b[i], r[i], c[i]) == (d.vault, d.bank, d.row, d.column)
+
+    def test_encode_many_matches_scalar(self, m, rng):
+        n = 200
+        vault = rng.integers(0, 32, n)
+        bank = rng.integers(0, 16, n)
+        row = rng.integers(0, 1 << 18, n)
+        col = rng.integers(0, 16, n)
+        addrs = m.encode_many(vault, bank, row, col)
+        for i in range(0, n, 23):
+            assert int(addrs[i]) == m.encode(
+                int(vault[i]), int(bank[i]), int(row[i]), int(col[i])
+            )
+
+    def test_roundtrip_vectorized(self, m, rng):
+        addrs = (rng.integers(0, 1 << 36, size=300) >> 6) << 6  # line-aligned
+        v, b, r, c = m.decode_many(addrs)
+        rebuilt = m.encode_many(v, b, r, c)
+        assert np.array_equal(rebuilt, addrs)
+
+
+class TestAlternateGeometry:
+    def test_small_cube(self):
+        cfg = HMCConfig(vaults=4, banks_per_vault=4)
+        m = AddressMapping(cfg)
+        d = m.decode(m.encode(3, 3, 77, 2))
+        assert (d.vault, d.bank, d.row, d.column) == (3, 3, 77, 2)
+
+    def test_bigger_rows(self):
+        cfg = HMCConfig(row_bytes=2048)
+        m = AddressMapping(cfg)
+        assert m.column_bits == 5
+        d = m.decode(m.encode(1, 1, 1, 31))
+        assert d.column == 31

@@ -1,0 +1,130 @@
+"""Tests for latency analysis and the row-buffer trace analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+from repro.metrics.latency import (
+    LatencySlice,
+    format_latency_table,
+    latency_by_source,
+    latency_segments,
+)
+from repro.request import MemoryRequest, ServiceSource
+from repro.system import System, SystemConfig
+from repro.workloads.analysis import analyze_mix, analyze_row_buffer
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+
+def done_req(lat, source=ServiceSource.BANK, write=False, arrive=None):
+    r = MemoryRequest(0, write, issue_cycle=100)
+    r.complete_cycle = 100 + lat
+    r.vault_arrive_cycle = arrive if arrive is not None else 120
+    r.source = source
+    return r
+
+
+class TestLatencySlices:
+    def test_slice_of_empty(self):
+        s = LatencySlice.of([])
+        assert s.n == 0 and s.mean == 0.0
+
+    def test_slice_statistics(self):
+        s = LatencySlice.of([10, 20, 30, 40])
+        assert s.n == 4
+        assert s.mean == pytest.approx(25.0)
+        assert s.max == 40
+
+    def test_by_source_buckets(self):
+        reqs = [
+            done_req(100),
+            done_req(50, ServiceSource.PREFETCH_BUFFER),
+            done_req(70, ServiceSource.ROW_IN_FLIGHT),
+            done_req(999, write=True),  # excluded: write
+        ]
+        out = latency_by_source(reqs)
+        assert set(out) == {"bank", "buffer", "in_flight"}
+        assert out["bank"].n == 1
+
+    def test_by_source_includes_writes_when_asked(self):
+        reqs = [done_req(999, write=True)]
+        out = latency_by_source(reqs, reads_only=False)
+        assert out["bank"].n == 1
+
+    def test_segments(self):
+        reqs = [done_req(100, arrive=130)]
+        out = latency_segments(reqs)
+        assert out["transport_in"].mean == pytest.approx(30)
+        assert out["vault_and_return"].mean == pytest.approx(70)
+
+    def test_format_table(self):
+        out = latency_by_source([done_req(100)])
+        text = format_latency_table(out)
+        assert "bank" in text and "p99" in text
+
+    def test_end_to_end_recording(self):
+        traces = [generate_trace("gcc", 300, seed=1)]
+        sysm = System(
+            traces, SystemConfig(scheme="base", record_requests=True)
+        )
+        r = sysm.run()
+        reqs = sysm.host.completed_requests
+        assert len(reqs) == sum(
+            1 for _ in traces[0].gaps
+        )  # every record completed
+        slices = latency_by_source(reqs, reads_only=False)
+        assert sum(s.n for s in slices.values()) == len(reqs)
+
+
+class TestRowBufferAnalyzer:
+    def _trace_from_coords(self, coords):
+        m = AddressMapping(HMCConfig())
+        addrs = [m.encode(v, b, r, c) for v, b, r, c in coords]
+        n = len(addrs)
+        return Trace(np.zeros(n), np.array(addrs), np.zeros(n, bool))
+
+    def test_pure_hits(self):
+        t = self._trace_from_coords([(0, 0, 5, c) for c in range(8)])
+        p = analyze_row_buffer(t)
+        assert p.empties == 1
+        assert p.hits == 7
+        assert p.conflicts == 0
+        assert p.mean_visit_utilization == pytest.approx(8.0)
+
+    def test_pingpong_conflicts(self):
+        coords = [(0, 0, 1, 0), (0, 0, 2, 0), (0, 0, 1, 1), (0, 0, 2, 1)]
+        p = analyze_row_buffer(self._trace_from_coords(coords))
+        assert p.conflicts == 3
+        assert p.conflict_revisit_rows == 2  # both rows revisited post-conflict
+
+    def test_different_banks_no_conflict(self):
+        coords = [(0, 0, 1, 0), (0, 1, 2, 0), (1, 0, 3, 0)]
+        p = analyze_row_buffer(self._trace_from_coords(coords))
+        assert p.conflicts == 0
+        assert p.empties == 3
+
+    def test_rut_trigger_fraction(self):
+        # one visit of 8 lines, one visit of 2 lines
+        coords = [(0, 0, 1, c) for c in range(8)] + [(0, 0, 2, c) for c in range(2)]
+        p = analyze_row_buffer(self._trace_from_coords(coords))
+        assert p.rut_trigger_fraction(threshold=4) == pytest.approx(0.5)
+
+    def test_streaming_profile_mostly_hits(self):
+        t = generate_trace("lbm", 5000, seed=3)
+        p = analyze_row_buffer(t)
+        assert p.hit_rate > 0.3
+        assert p.summary()  # renders
+
+    def test_mix_interleave_raises_conflicts(self):
+        # two cores with aliasing streams conflict more when interleaved
+        t0 = generate_trace("gems", 2000, seed=1, core_id=0)
+        t1 = generate_trace("gems", 2000, seed=2, core_id=1)
+        solo = analyze_row_buffer(t0)
+        both = analyze_mix([t0, t1])
+        assert both.conflict_rate >= solo.conflict_rate * 0.9
+
+    def test_mix_requires_traces(self):
+        with pytest.raises(ValueError):
+            analyze_mix([])

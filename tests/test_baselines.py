@@ -1,0 +1,189 @@
+"""Unit tests for the comparison schemes: BASE, BASE-HIT, MMD."""
+
+import pytest
+
+from repro.core.baselines import (
+    BaseHitPrefetcher,
+    BasePrefetcher,
+    MMDParams,
+    MMDPrefetcher,
+)
+from repro.core.buffer import LRUPolicy, PrefetchBuffer
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+
+class StubController:
+    """Just enough vault controller for scheme unit tests."""
+
+    def __init__(self, config):
+        self.buffer = PrefetchBuffer(
+            config.pf_buffer_entries, config.lines_per_row, LRUPolicy()
+        )
+        self._pending = {}
+
+    def pending_row_requests(self, bank, row):
+        return self._pending.get((bank, row), 0)
+
+
+@pytest.fixture
+def cfg():
+    return HMCConfig()
+
+
+class TestBase:
+    def test_prefetches_on_every_outcome(self, cfg):
+        pf = BasePrefetcher(0, cfg)
+        for outcome in RowOutcome:
+            actions = pf.on_demand_access(0, 5, 2, False, outcome, 0)
+            assert len(actions) == 1
+            assert actions[0].line_mask == pf.full_mask
+            assert actions[0].precharge_after
+
+    def test_seeds_served_line(self, cfg):
+        pf = BasePrefetcher(0, cfg)
+        a = pf.on_demand_access(0, 5, 9, False, RowOutcome.EMPTY, 0)[0]
+        assert a.seed_ref_mask == 1 << 9
+
+    def test_uses_lru(self, cfg):
+        assert isinstance(BasePrefetcher(0, cfg).make_policy(), LRUPolicy)
+
+
+class TestBaseHit:
+    def test_no_trigger_without_queue_hits(self, cfg):
+        pf = BaseHitPrefetcher(0, cfg)
+        pf.bind(StubController(cfg))
+        assert pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0) == []
+
+    def test_triggers_at_threshold(self, cfg):
+        pf = BaseHitPrefetcher(0, cfg)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        ctl._pending[(0, 5)] = 2
+        actions = pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0)
+        assert len(actions) == 1
+        assert actions[0].precharge_after
+
+    def test_below_threshold_no_trigger(self, cfg):
+        pf = BaseHitPrefetcher(0, cfg)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        ctl._pending[(0, 5)] = 1
+        assert pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0) == []
+
+    def test_other_row_queue_hits_ignored(self, cfg):
+        pf = BaseHitPrefetcher(0, cfg)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        ctl._pending[(0, 6)] = 5
+        assert pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0) == []
+
+    def test_requires_bind(self, cfg):
+        pf = BaseHitPrefetcher(0, cfg)
+        with pytest.raises(AssertionError):
+            pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0)
+
+    def test_threshold_validation(self, cfg):
+        with pytest.raises(ValueError):
+            BaseHitPrefetcher(0, cfg, queue_hit_threshold=0)
+
+
+class TestMMDDecision:
+    def test_prefetches_forward_degree_lines(self, cfg):
+        pf = MMDPrefetcher(0, cfg, params=MMDParams(initial_degree=4))
+        pf.bind(StubController(cfg))
+        a = pf.on_demand_access(0, 5, 2, False, RowOutcome.HIT, 0)[0]
+        assert a.line_mask == 0b1111 << 3  # columns 3..6
+        assert not a.precharge_after
+
+    def test_no_wraparound(self, cfg):
+        pf = MMDPrefetcher(0, cfg, params=MMDParams(initial_degree=4))
+        pf.bind(StubController(cfg))
+        actions = pf.on_demand_access(0, 5, 14, False, RowOutcome.HIT, 0)
+        assert actions[0].line_mask == 1 << 15  # only column 15, no wrap
+
+    def test_last_column_yields_nothing(self, cfg):
+        pf = MMDPrefetcher(0, cfg)
+        pf.bind(StubController(cfg))
+        assert pf.on_demand_access(0, 5, 15, False, RowOutcome.HIT, 0) == []
+
+    def test_skips_lines_already_buffered(self, cfg):
+        pf = MMDPrefetcher(0, cfg, params=MMDParams(initial_degree=2))
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        ctl.buffer.insert(0, 5, 0b11000, 0, 0)  # columns 3,4 staged
+        a = pf.on_demand_access(0, 5, 2, False, RowOutcome.HIT, 0)[0]
+        assert a.line_mask == 0b1100000  # columns 5,6 instead
+
+    def test_fully_staged_row_yields_nothing(self, cfg):
+        pf = MMDPrefetcher(0, cfg)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        ctl.buffer.insert(0, 5, 0xFFFF, 0, 0)
+        assert pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0) == []
+
+
+class TestMMDFeedback:
+    def _drive_epoch(self, pf, ctl, used_fraction, epoch_lines):
+        """Simulate one epoch's worth of insertions with given usefulness."""
+        buf = ctl.buffer
+        row = 1000 + pf.degree  # fresh rows each call
+        inserted = 0
+        while inserted < epoch_lines:
+            buf.insert(0, row, 0xFFFF, 0, 0)
+            for col in range(int(16 * used_fraction)):
+                buf.lookup(0, row, col, False)
+            inserted += 16
+            row += 1
+
+    def test_degree_doubles_on_high_accuracy(self, cfg):
+        params = MMDParams(initial_degree=4, epoch_lines=64)
+        pf = MMDPrefetcher(0, cfg, params=params)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        self._drive_epoch(pf, ctl, used_fraction=0.9, epoch_lines=64)
+        pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0)
+        assert pf.degree == 8
+        assert pf.degree_increases == 1
+
+    def test_degree_halves_on_low_accuracy(self, cfg):
+        params = MMDParams(initial_degree=4, epoch_lines=64)
+        pf = MMDPrefetcher(0, cfg, params=params)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        self._drive_epoch(pf, ctl, used_fraction=0.05, epoch_lines=64)
+        pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0)
+        assert pf.degree == 2
+        assert pf.degree_decreases == 1
+
+    def test_degree_respects_bounds(self, cfg):
+        params = MMDParams(initial_degree=8, min_degree=8, max_degree=8, epoch_lines=32)
+        pf = MMDPrefetcher(0, cfg, params=params)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        self._drive_epoch(pf, ctl, 0.9, 32)
+        pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0)
+        assert pf.degree == 8
+
+    def test_mid_accuracy_keeps_degree(self, cfg):
+        params = MMDParams(initial_degree=4, epoch_lines=64)
+        pf = MMDPrefetcher(0, cfg, params=params)
+        ctl = StubController(cfg)
+        pf.bind(ctl)
+        self._drive_epoch(pf, ctl, 0.45, 64)
+        pf.on_demand_access(0, 5, 0, False, RowOutcome.HIT, 0)
+        assert pf.degree == 4
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MMDParams(initial_degree=0)
+        with pytest.raises(ValueError):
+            MMDParams(min_degree=8, initial_degree=4)
+        with pytest.raises(ValueError):
+            MMDParams(low_watermark=0.9, high_watermark=0.1)
+        with pytest.raises(ValueError):
+            MMDParams(epoch_lines=0)
+
+    def test_describe_shows_degree(self, cfg):
+        pf = MMDPrefetcher(0, cfg)
+        assert "degree=4" in pf.describe()

@@ -1,0 +1,266 @@
+"""Unit + property tests for the prefetch buffer and its recency stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffer import (
+    BufferEntry,
+    LRUPolicy,
+    PrefetchBuffer,
+    UtilizationRecencyPolicy,
+)
+
+FULL = 0xFFFF  # 16 lines
+
+
+def make(entries=4, policy=None, lines=16):
+    return PrefetchBuffer(entries, lines, policy or LRUPolicy())
+
+
+class TestInsertLookup:
+    def test_miss_on_empty(self):
+        buf = make()
+        assert buf.lookup(0, 1, 0, False) is None
+        assert buf.misses == 1
+
+    def test_hit_after_insert(self):
+        buf = make()
+        buf.insert(0, 1, FULL, ready_time=100, now=50)
+        e = buf.lookup(0, 1, 3, False)
+        assert e is not None
+        assert buf.hits == 1
+        assert e.ready_time == 100
+
+    def test_partial_mask_line_miss(self):
+        buf = make()
+        buf.insert(0, 1, 0b0110, 0, 0)
+        assert buf.lookup(0, 1, 1, False) is not None
+        assert buf.lookup(0, 1, 3, False) is None  # line not staged
+
+    def test_lookup_tracks_utilization(self):
+        buf = make()
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.lookup(0, 1, 3, False)
+        buf.lookup(0, 1, 3, False)
+        buf.lookup(0, 1, 5, False)
+        e = buf.get(0, 1)
+        assert e.utilization == 2  # distinct lines
+        assert e.accesses == 3
+        assert buf.lines_used == 2
+
+    def test_write_marks_dirty(self):
+        buf = make()
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.lookup(0, 1, 3, True)
+        assert buf.get(0, 1).is_dirty
+        assert buf.get(0, 1).dirty_mask == 1 << 3
+
+    def test_insert_merges_masks(self):
+        buf = make()
+        buf.insert(0, 1, 0b0011, ready_time=10, now=0)
+        victim = buf.insert(0, 1, 0b1100, ready_time=20, now=5)
+        assert victim is None
+        e = buf.get(0, 1)
+        assert e.valid_mask == 0b1111
+        assert e.ready_time == 20
+        assert len(buf) == 1
+
+    def test_insert_rejects_bad_masks(self):
+        buf = make()
+        with pytest.raises(ValueError):
+            buf.insert(0, 1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            buf.insert(0, 1, 1 << 16, 0, 0)
+
+    def test_contains(self):
+        buf = make()
+        buf.insert(2, 9, FULL, 0, 0)
+        assert (2, 9) in buf
+        assert (2, 8) not in buf
+
+
+class TestEviction:
+    def test_capacity_respected(self):
+        buf = make(entries=2)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.insert(0, 2, FULL, 0, 0)
+        victim = buf.insert(0, 3, FULL, 0, 0)
+        assert victim is not None
+        assert len(buf) == 2
+
+    def test_lru_evicts_oldest_untouched(self):
+        buf = make(entries=2)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.insert(0, 2, FULL, 0, 0)
+        victim = buf.insert(0, 3, FULL, 0, 0)
+        assert victim.row == 1
+
+    def test_lookup_refreshes_lru(self):
+        buf = make(entries=2)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.insert(0, 2, FULL, 0, 0)
+        buf.lookup(0, 1, 0, False)  # row 1 becomes MRU
+        victim = buf.insert(0, 3, FULL, 0, 0)
+        assert victim.row == 2
+
+    def test_invalidate_removes(self):
+        buf = make()
+        buf.insert(0, 1, FULL, 0, 0)
+        e = buf.invalidate(0, 1)
+        assert e is not None and (0, 1) not in buf
+        assert buf.invalidate(0, 1) is None
+
+    def test_invalidate_keeps_recency_dense(self):
+        buf = make(entries=4)
+        for row in range(1, 5):
+            buf.insert(0, row, FULL, 0, 0)
+        buf.invalidate(0, 2)
+        assert buf.check_recency_invariant()
+
+
+class TestRecencyStack:
+    def test_mru_value_is_capacity_minus_one(self):
+        buf = make(entries=4)
+        buf.insert(0, 1, FULL, 0, 0)
+        assert buf.get(0, 1).recency == 3
+
+    def test_paper_semantics_16_entries(self):
+        """The paper: MRU row holds 15, LRU row holds 0 with a full buffer."""
+        buf = make(entries=16)
+        for row in range(16):
+            buf.insert(0, row, FULL, 0, 0)
+        values = sorted(e.recency for e in buf.entries())
+        assert values == list(range(16))
+        assert buf.get(0, 15).recency == 15  # last inserted = MRU
+        assert buf.get(0, 0).recency == 0  # first inserted = LRU
+
+    def test_access_promotes_and_decrements_above(self):
+        buf = make(entries=4)
+        for row in [1, 2, 3, 4]:
+            buf.insert(0, row, FULL, 0, 0)
+        # recencies: r1=0 r2=1 r3=2 r4=3
+        buf.lookup(0, 2, 0, False)
+        assert buf.get(0, 2).recency == 3
+        assert buf.get(0, 3).recency == 1  # was 2, decremented
+        assert buf.get(0, 4).recency == 2  # was 3, decremented
+        assert buf.get(0, 1).recency == 0  # below, unchanged
+
+    def test_invariant_after_mixed_operations(self):
+        buf = make(entries=4)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.insert(0, 2, FULL, 0, 0)
+        buf.lookup(0, 1, 5, False)
+        buf.insert(0, 3, FULL, 0, 0)
+        buf.insert(0, 4, FULL, 0, 0)
+        buf.insert(0, 5, FULL, 0, 0)  # eviction
+        buf.lookup(0, 5, 1, True)
+        assert buf.check_recency_invariant()
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "lookup", "invalidate"]),
+                st.integers(0, 9),  # row
+                st.integers(0, 15),  # column
+            ),
+            max_size=60,
+        ),
+        entries=st.integers(1, 8),
+    )
+    def test_recency_invariant_holds_under_any_op_sequence(self, ops, entries):
+        buf = make(entries=entries)
+        for op, row, col in ops:
+            if op == "insert":
+                buf.insert(0, row, FULL, 0, 0)
+            elif op == "lookup":
+                buf.lookup(0, row, col, False)
+            else:
+                buf.invalidate(0, row)
+            assert buf.check_recency_invariant()
+            assert len(buf) <= entries
+
+
+class TestAccuracyAccounting:
+    def test_used_row_counts_on_eviction(self):
+        buf = make(entries=1)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.lookup(0, 1, 0, False)
+        buf.insert(0, 2, FULL, 0, 0)  # evicts used row 1
+        assert buf.rows_retired_used == 1
+        assert buf.rows_retired_unused == 0
+
+    def test_unused_row_counts_on_eviction(self):
+        buf = make(entries=1)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.insert(0, 2, FULL, 0, 0)
+        assert buf.rows_retired_unused == 1
+
+    def test_finalize_counts_residents(self):
+        buf = make(entries=4)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.insert(0, 2, FULL, 0, 0)
+        buf.lookup(0, 1, 0, False)
+        buf.finalize()
+        assert buf.rows_retired_used == 1
+        assert buf.rows_retired_unused == 1
+        assert buf.row_accuracy == pytest.approx(0.5)
+
+    def test_seeded_rows_not_counted_used_without_hits(self):
+        buf = make(entries=1)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.get(0, 1).seed_ref(0b1111)
+        buf.insert(0, 2, FULL, 0, 0)
+        assert buf.rows_retired_unused == 1
+
+    def test_line_accuracy(self):
+        buf = make(entries=4)
+        buf.insert(0, 1, FULL, 0, 0)  # 16 lines
+        buf.lookup(0, 1, 0, False)
+        buf.lookup(0, 1, 1, False)
+        assert buf.line_accuracy == pytest.approx(2 / 16)
+
+    def test_dirty_eviction_counter(self):
+        buf = make(entries=1)
+        buf.insert(0, 1, FULL, 0, 0)
+        buf.lookup(0, 1, 0, True)
+        buf.insert(0, 2, FULL, 0, 0)
+        assert buf.dirty_evictions == 1
+
+    def test_accuracy_empty_buffer(self):
+        buf = make()
+        assert buf.row_accuracy == 0.0
+        assert buf.line_accuracy == 0.0
+
+
+class TestEntry:
+    def test_fully_consumed(self):
+        e = BufferEntry(0, 1, FULL, 0, 0)
+        assert not e.fully_consumed(16)
+        e.ref_mask = FULL
+        assert e.fully_consumed(16)
+
+    def test_seed_ref_feeds_utilization_only(self):
+        e = BufferEntry(0, 1, FULL, 0, 0)
+        e.seed_ref(0b111)
+        assert e.utilization == 3
+        assert not e.was_used
+
+    def test_valid_lines(self):
+        e = BufferEntry(0, 1, 0b1010, 0, 0)
+        assert e.valid_lines == 2
+
+    def test_key(self):
+        assert BufferEntry(3, 9, FULL, 0, 0).key == (3, 9)
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(0, 16, LRUPolicy())
+        with pytest.raises(ValueError):
+            PrefetchBuffer(4, 0, LRUPolicy())
+
+    def test_recency_weight_validated(self):
+        with pytest.raises(ValueError):
+            UtilizationRecencyPolicy(recency_weight=0)

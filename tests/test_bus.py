@@ -1,0 +1,45 @@
+"""Unit tests for the shared per-vault TSV data bus."""
+
+import pytest
+
+from repro.dram.bus import TsvBus
+
+
+class TestReservation:
+    def test_immediate_reservation(self):
+        bus = TsvBus()
+        assert bus.reserve(10, 5) == 10
+        assert bus.busy_until == 15
+
+    def test_serialization(self):
+        bus = TsvBus()
+        bus.reserve(0, 10)
+        assert bus.reserve(0, 10) == 10
+        assert bus.reserve(0, 10) == 20
+
+    def test_gap_respected(self):
+        bus = TsvBus()
+        bus.reserve(0, 5)
+        assert bus.reserve(100, 5) == 100
+
+    def test_zero_duration_allowed(self):
+        bus = TsvBus()
+        assert bus.reserve(7, 0) == 7
+        assert bus.busy_until == 7
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TsvBus().reserve(0, -1)
+
+    def test_counters(self):
+        bus = TsvBus()
+        bus.reserve(0, 5)
+        bus.reserve(0, 3)
+        assert bus.reservations == 2
+        assert bus.busy_cycles == 8
+
+    def test_utilization(self):
+        bus = TsvBus()
+        bus.reserve(0, 25)
+        assert bus.utilization(100) == pytest.approx(0.25)
+        assert bus.utilization(0) == 0.0

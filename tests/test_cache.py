@@ -1,0 +1,159 @@
+"""Unit + property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import Cache, CacheParams
+
+
+def make(size=1024, assoc=2, line=64, lat=2, name="T"):
+    return Cache(CacheParams(name, size, assoc, line, lat))
+
+
+class TestParams:
+    def test_num_sets(self):
+        p = CacheParams("L1", 32 * 1024, 2, 64, 2)
+        assert p.num_sets == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheParams("x", 1000, 2, 64, 2)  # not divisible
+        with pytest.raises(ValueError):
+            CacheParams("x", 1024, 2, 60, 2)  # line not pow2
+        with pytest.raises(ValueError):
+            CacheParams("x", 1024, 0, 64, 2)
+        with pytest.raises(ValueError):
+            CacheParams("x", 1024, 2, 64, -1)
+
+
+class TestBasicOperation:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        assert not c.lookup(0x1000, False)
+        c.allocate(0x1000, dirty=False)
+        assert c.lookup(0x1000, False)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        c = make()
+        c.allocate(0x1000, False)
+        assert c.lookup(0x1000 + 63, False)
+
+    def test_write_sets_dirty(self):
+        c = make()
+        c.allocate(0x1000, False)
+        c.lookup(0x1000, is_write=True)
+        assert c.is_dirty(0x1000)
+
+    def test_allocate_dirty(self):
+        c = make()
+        c.allocate(0x1000, dirty=True)
+        assert c.is_dirty(0x1000)
+
+    def test_invalidate(self):
+        c = make()
+        c.allocate(0x1000, dirty=True)
+        assert c.invalidate(0x1000) is True  # returns dirty flag
+        assert not c.contains(0x1000)
+        assert c.invalidate(0x1000) is None
+
+
+class TestEviction:
+    def test_lru_within_set(self):
+        c = make(size=2 * 64, assoc=2)  # one set, 2 ways
+        c.allocate(0 * 64, False)
+        c.allocate(1 * 64, False)
+        c.lookup(0, False)  # line 0 now MRU
+        victim = c.allocate(2 * 64, False)
+        assert victim is not None
+        assert victim.addr == 64  # line 1 was LRU
+
+    def test_victim_address_reconstruction(self):
+        c = make(size=4 * 1024, assoc=2)
+        addr = 0xABCDE00 & ~63
+        c.allocate(addr, True)
+        # fill the same set until the original line is displaced
+        sets = c.params.num_sets
+        victims = []
+        for i in range(1, 4):
+            v = c.allocate(addr + i * sets * 64, True)
+            if v:
+                victims.append(v)
+        assert any(v.addr == addr and v.dirty for v in victims)
+
+    def test_dirty_eviction_flagged(self):
+        c = make(size=2 * 64, assoc=1)
+        c.allocate(0, dirty=True)
+        victim = c.allocate(2 * 64, False)  # same set (2 sets? assoc1)
+        if victim is None:  # different set; force same set
+            victim = c.allocate(4 * 64, False)
+        assert c.dirty_evictions >= 0  # counter exists; exact case below
+
+    def test_dirty_eviction_counter(self):
+        c = make(size=64, assoc=1)  # single set, single way
+        c.allocate(0, dirty=True)
+        v = c.allocate(64, False)
+        assert v.dirty and v.addr == 0
+        assert c.dirty_evictions == 1
+
+    def test_allocate_present_merges_dirty(self):
+        c = make()
+        c.allocate(0x1000, False)
+        assert c.allocate(0x1000, True) is None
+        assert c.is_dirty(0x1000)
+        assert c.occupancy() == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = make()
+        c.lookup(0, False)
+        c.allocate(0, False)
+        c.lookup(0, False)
+        assert c.hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert make().hit_rate() == 0.0
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = make(size=512, assoc=2)
+        for i in range(100):
+            c.allocate(i * 64, False)
+        assert c.occupancy() <= 512 // 64
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 20), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_most_recent_line_always_resident(self, accesses):
+        c = make(size=1024, assoc=2)
+        for addr, wr in accesses:
+            if not c.lookup(addr, wr):
+                c.allocate(addr, wr)
+        last_addr = accesses[-1][0]
+        assert c.contains(last_addr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    def test_occupancy_invariant(self, addrs):
+        c = make(size=512, assoc=2)
+        capacity = 512 // 64
+        for a in addrs:
+            if not c.lookup(a, False):
+                c.allocate(a, False)
+            assert c.occupancy() <= capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+    def test_accesses_equals_hits_plus_misses(self, addrs):
+        c = make()
+        for a in addrs:
+            if not c.lookup(a, False):
+                c.allocate(a, False)
+        assert c.accesses == c.hits + c.misses == len(addrs)

@@ -1,0 +1,93 @@
+"""Unit tests for HMCConfig (Table I defaults and validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+
+
+class TestTable1Defaults:
+    def test_structure(self):
+        cfg = HMCConfig()
+        assert cfg.vaults == 32
+        assert cfg.banks_per_vault == 16
+        assert cfg.total_banks == 512
+        assert cfg.row_bytes == 1024
+        assert cfg.line_bytes == 64
+        assert cfg.lines_per_row == 16
+
+    def test_queues(self):
+        cfg = HMCConfig()
+        assert cfg.read_queue_depth == 32
+        assert cfg.write_queue_depth == 32
+
+    def test_prefetch_buffer(self):
+        cfg = HMCConfig()
+        assert cfg.pf_buffer_entries == 16
+        assert cfg.pf_buffer_bytes == 16 * 1024
+        assert cfg.pf_hit_latency == 22
+
+    def test_links(self):
+        cfg = HMCConfig()
+        assert cfg.links == 4
+        assert cfg.link_lanes == 16
+        assert cfg.link_gbps_per_lane == pytest.approx(12.5)
+
+    def test_link_bandwidth_derivation(self):
+        cfg = HMCConfig()
+        # 16 lanes x 12.5 Gbps = 200 Gbps = 25 GB/s; at 3 GHz -> 8.33 B/cycle
+        assert cfg.link_bytes_per_cycle == pytest.approx(25.0 / 3.0)
+
+    def test_dram_timing_is_table1(self):
+        t = HMCConfig().timings
+        assert (t.trcd, t.trp, t.tcl) == (11, 11, 11)
+
+
+class TestValidation:
+    def test_non_pow2_rejected(self):
+        for field in ("vaults", "banks_per_vault", "row_bytes", "line_bytes"):
+            with pytest.raises(ValueError):
+                HMCConfig(**{field: 3})
+
+    def test_line_bigger_than_row_rejected(self):
+        with pytest.raises(ValueError):
+            HMCConfig(row_bytes=64, line_bytes=128)
+
+    def test_nonpositive_counts_rejected(self):
+        with pytest.raises(ValueError):
+            HMCConfig(links=0)
+        with pytest.raises(ValueError):
+            HMCConfig(pf_buffer_entries=0)
+        with pytest.raises(ValueError):
+            HMCConfig(read_queue_depth=0)
+
+    def test_negative_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            HMCConfig(serdes_latency=-1)
+        with pytest.raises(ValueError):
+            HMCConfig(crossbar_latency=-1)
+
+    def test_bad_link_rate_rejected(self):
+        with pytest.raises(ValueError):
+            HMCConfig(link_gbps_per_lane=0)
+
+    def test_flit_bytes_pow2(self):
+        with pytest.raises(ValueError):
+            HMCConfig(flit_bytes=24)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new(self):
+        cfg = HMCConfig()
+        cfg2 = cfg.with_overrides(pf_buffer_entries=8)
+        assert cfg2.pf_buffer_entries == 8
+        assert cfg.pf_buffer_entries == 16
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            HMCConfig().with_overrides(vaults=5)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            HMCConfig().vaults = 64

@@ -1,0 +1,199 @@
+"""Unit tests for the trace-driven core timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import Core, CoreParams, MemoryPort
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine
+
+
+class FixedLatencyPort(MemoryPort):
+    """Memory that answers every load after a fixed delay."""
+
+    def __init__(self, engine, latency=100, known=False):
+        self.engine = engine
+        self.latency = latency
+        self.known = known
+        self.loads = 0
+        self.stores = 0
+
+    def load(self, core_id, addr, on_fill):
+        self.loads += 1
+        if self.known:
+            return self.engine.now + self.latency
+        req = MemoryRequest(addr, False, core_id, self.engine.now)
+        self.engine.schedule(self.latency, on_fill, req)
+        return None
+
+    def store(self, core_id, addr):
+        self.stores += 1
+
+
+def run_core(engine, port, gaps, addrs=None, writes=None, params=None):
+    n = len(gaps)
+    core = Core(
+        0,
+        engine,
+        port,
+        np.array(gaps),
+        np.array(addrs if addrs is not None else [64 * i for i in range(n)]),
+        np.array(writes if writes is not None else [False] * n),
+        params=params,
+    )
+    core.start()
+    engine.run()
+    assert core.done
+    return core
+
+
+class TestBasicTiming:
+    def test_compute_only_ipc_near_issue_width(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, latency=1, known=True)
+        core = run_core(eng, port, gaps=[399] * 10, params=CoreParams(issue_width=4))
+        # 4000 instructions at width 4 ~ 1000 cycles (plus tiny load effects)
+        assert core.ipc == pytest.approx(4.0, rel=0.15)
+
+    def test_instruction_count(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, known=True)
+        core = run_core(eng, port, gaps=[9, 9, 9])
+        assert core.instr == 30  # 3 x (9 + the memory op)
+
+    def test_memory_latency_reduces_ipc(self):
+        def ipc_with(lat):
+            eng = Engine()
+            port = FixedLatencyPort(eng, latency=lat)
+            return run_core(
+                eng, port, gaps=[10] * 50, params=CoreParams(mlp=2, rob_size=16)
+            ).ipc
+
+        assert ipc_with(400) < ipc_with(10)
+
+    def test_stores_do_not_stall(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, latency=10_000)
+        core = run_core(
+            eng,
+            port,
+            gaps=[10] * 20,
+            writes=[True] * 20,
+            params=CoreParams(mlp=1, rob_size=8),
+        )
+        assert port.stores == 20
+        assert core.finish_cycle < 1000  # never waited for memory
+
+    def test_ipc_zero_before_done(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, known=True)
+        core = Core(0, eng, port, np.array([1]), np.array([0]), np.array([False]))
+        assert core.ipc == 0.0
+
+
+class TestMLPConstraint:
+    def test_outstanding_bounded_by_mlp(self):
+        eng = Engine()
+
+        class CountingPort(FixedLatencyPort):
+            def __init__(self, engine):
+                super().__init__(engine, latency=500)
+                self.inflight = 0
+                self.max_inflight = 0
+
+            def load(self, core_id, addr, on_fill):
+                self.inflight += 1
+                self.max_inflight = max(self.max_inflight, self.inflight)
+
+                def wrapped(req):
+                    self.inflight -= 1
+                    on_fill(req)
+
+                req = MemoryRequest(addr, False, core_id, self.engine.now)
+                self.engine.schedule(self.latency, wrapped, req)
+                return None
+
+        port = CountingPort(eng)
+        run_core(eng, port, gaps=[0] * 30, params=CoreParams(mlp=4, rob_size=1000))
+        assert port.max_inflight <= 4
+        assert port.max_inflight >= 3  # overlap actually happened
+
+    def test_higher_mlp_faster_on_independent_misses(self):
+        def cycles_with(mlp):
+            eng = Engine()
+            port = FixedLatencyPort(eng, latency=300)
+            return run_core(
+                eng, port, gaps=[0] * 16, params=CoreParams(mlp=mlp, rob_size=1000)
+            ).finish_cycle
+
+        assert cycles_with(8) < cycles_with(1)
+
+
+class TestROBConstraint:
+    def test_small_rob_serializes_spread_misses(self):
+        def cycles_with(rob):
+            eng = Engine()
+            port = FixedLatencyPort(eng, latency=300)
+            return run_core(
+                eng, port, gaps=[100] * 10, params=CoreParams(mlp=8, rob_size=rob)
+            ).finish_cycle
+
+        assert cycles_with(8) > cycles_with(4000)
+
+    def test_rob_stall_counted(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, latency=1000)
+        core = run_core(
+            eng, port, gaps=[0] * 5, params=CoreParams(mlp=8, rob_size=2)
+        )
+        assert core.rob_stalls > 0
+
+
+class TestCompletion:
+    def test_finish_waits_for_outstanding_loads(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, latency=5000)
+        core = run_core(eng, port, gaps=[1], params=CoreParams())
+        assert core.finish_cycle >= 5000
+
+    def test_on_done_callback(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng, latency=10)
+        done = []
+        core = Core(
+            0,
+            eng,
+            port,
+            np.array([1, 1]),
+            np.array([0, 64]),
+            np.array([False, False]),
+            on_done=done.append,
+        )
+        core.start()
+        eng.run()
+        assert done == [core]
+
+    def test_empty_arrays_rejected_mismatch(self):
+        eng = Engine()
+        port = FixedLatencyPort(eng)
+        with pytest.raises(ValueError):
+            Core(0, eng, port, np.array([1, 2]), np.array([0]), np.array([False]))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CoreParams(issue_width=0)
+        with pytest.raises(ValueError):
+            CoreParams(rob_size=0)
+        with pytest.raises(ValueError):
+            CoreParams(mlp=0)
+
+    def test_deterministic_replay(self):
+        def run_once():
+            eng = Engine()
+            port = FixedLatencyPort(eng, latency=137)
+            core = run_core(
+                eng, port, gaps=[7, 0, 23, 3] * 20, params=CoreParams(mlp=3, rob_size=32)
+            )
+            return core.finish_cycle, core.instr
+
+        assert run_once() == run_once()

@@ -1,0 +1,90 @@
+"""Unit tests for the event-count energy model."""
+
+import pytest
+
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.energy import EnergyModel, EnergyParams
+from repro.dram.timing import DRAMTimings
+
+
+class TestParams:
+    def test_defaults_ordering(self):
+        p = EnergyParams()
+        # activation dominates, buffer access is cheapest dynamic op
+        assert p.act_pj > p.row_tsv_pj > p.read_line_pj > p.buffer_access_pj
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyParams(act_pj=-1)
+
+
+class TestCharging:
+    def test_charge_banks_pulls_counters(self):
+        t = DRAMTimings()
+        b = Bank(0, t)
+        b.access(AccessKind.READ, 1, 0)  # ACT + RD
+        b.access(AccessKind.WRITE, 2, 0)  # PRE + ACT + WR
+        b.fetch_row(2, b.busy_until)  # ROWF + PRE
+        em = EnergyModel()
+        em.charge_banks([b])
+        assert em.acts == 2
+        assert em.pres == 2
+        assert em.line_reads == 1
+        assert em.line_writes == 1
+        assert em.row_transfers == 1
+
+    def test_prefetch_line_reads_counted_as_reads(self):
+        t = DRAMTimings()
+        b = Bank(0, t)
+        b.access(AccessKind.READ, 1, 0)
+        b.fetch_lines(1, 4, b.busy_until)
+        em = EnergyModel()
+        em.charge_banks([b])
+        assert em.line_reads == 1 + 4
+
+    def test_direct_charges(self):
+        em = EnergyModel()
+        em.charge_buffer_access(3)
+        em.charge_link_flits(10)
+        em.charge_row_transfer()
+        assert em.buffer_accesses == 3
+        assert em.link_flits == 10
+        assert em.row_transfers == 1
+
+    def test_set_cycles_validation(self):
+        em = EnergyModel()
+        with pytest.raises(ValueError):
+            em.set_cycles(-1)
+
+
+class TestTotals:
+    def test_breakdown_sums_to_total(self):
+        em = EnergyModel()
+        em.acts, em.pres, em.line_reads = 10, 10, 50
+        em.set_cycles(1000)
+        assert em.total_pj() == pytest.approx(sum(em.breakdown_pj().values()))
+
+    def test_dynamic_excludes_background(self):
+        em = EnergyModel()
+        em.acts = 5
+        em.set_cycles(10_000)
+        assert em.dynamic_pj() == pytest.approx(5 * em.params.act_pj)
+        assert em.total_pj() > em.dynamic_pj()
+
+    def test_empty_model_only_background(self):
+        em = EnergyModel()
+        em.set_cycles(100)
+        assert em.total_pj() == pytest.approx(
+            100 * em.params.background_pj_per_cycle
+        )
+
+    def test_more_activity_more_energy(self):
+        a, b = EnergyModel(), EnergyModel()
+        a.acts = 1
+        b.acts = 100
+        assert b.total_pj() > a.total_pj()
+
+    def test_custom_params_respected(self):
+        em = EnergyModel(EnergyParams(act_pj=2.0, background_pj_per_cycle=0.0))
+        em.acts = 3
+        assert em.total_pj() == pytest.approx(6.0)

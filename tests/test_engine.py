@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(10, order.append, "b")
+        eng.schedule(5, order.append, "a")
+        eng.schedule(20, order.append, "c")
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo_by_seq(self):
+        eng = Engine()
+        order = []
+        for tag in "abcde":
+            eng.schedule(7, order.append, tag)
+        eng.run()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties(self):
+        eng = Engine()
+        order = []
+        eng.schedule(5, order.append, "low", priority=1)
+        eng.schedule(5, order.append, "high", priority=-1)
+        eng.run()
+        assert order == ["high", "low"]
+
+    def test_now_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(42, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [42]
+        assert eng.now == 42
+
+    def test_schedule_at_absolute(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(100, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [100]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.schedule(-1, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        eng = Engine()
+        eng.schedule(10, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(5, lambda: None)
+
+    def test_zero_delay_runs_after_current(self):
+        eng = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            eng.schedule(0, order.append, "nested")
+
+        eng.schedule(1, first)
+        eng.schedule(1, order.append, "second")
+        eng.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_events_scheduled_during_run_execute(self):
+        eng = Engine()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                eng.schedule(3, chain, n + 1)
+
+        eng.schedule(0, chain, 0)
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert eng.now == 15
+
+    def test_args_passed_through(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1, lambda a, b, c: seen.append((a, b, c)), 1, "x", None)
+        eng.run()
+        assert seen == [(1, "x", None)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        seen = []
+        ev = eng.schedule(5, seen.append, "no")
+        eng.schedule(6, seen.append, "yes")
+        ev.cancel()
+        eng.run()
+        assert seen == ["yes"]
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        ev = eng.schedule(5, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        eng.run()
+        assert eng.events_fired == 0
+
+    def test_pending_excludes_cancelled(self):
+        eng = Engine()
+        ev = eng.schedule(5, lambda: None)
+        eng.schedule(6, lambda: None)
+        assert eng.pending == 2
+        ev.cancel()
+        assert eng.pending == 1
+
+    def test_peek_time_skips_cancelled(self):
+        eng = Engine()
+        ev = eng.schedule(5, lambda: None)
+        eng.schedule(9, lambda: None)
+        ev.cancel()
+        assert eng.peek_time() == 9
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5, seen.append, "early")
+        eng.schedule(50, seen.append, "late")
+        eng.run(until=10)
+        assert seen == ["early"]
+        assert eng.now == 10
+        eng.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_advances_now_with_empty_heap(self):
+        eng = Engine()
+        eng.run(until=123)
+        assert eng.now == 123
+
+    def test_max_events_limits_execution(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.schedule(i + 1, seen.append, i)
+        fired = eng.run(max_events=2)
+        assert fired == 2
+        assert seen == [0, 1]
+
+    def test_step_fires_exactly_one(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1, seen.append, "a")
+        eng.schedule(2, seen.append, "b")
+        assert eng.step() is True
+        assert seen == ["a"]
+        assert eng.step() is True
+        assert eng.step() is False
+
+    def test_run_returns_event_count(self):
+        eng = Engine()
+        for i in range(7):
+            eng.schedule(i, lambda: None)
+        assert eng.run() == 7
+        assert eng.events_fired == 7
+
+    def test_run_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def inner():
+            try:
+                eng.run()
+            except RuntimeError as e:
+                errors.append(e)
+
+        eng.schedule(1, inner)
+        eng.run()
+        assert len(errors) == 1
+
+
+class TestDeterminism:
+    def test_identical_schedules_identical_order(self):
+        def build():
+            eng = Engine()
+            order = []
+            eng.schedule(3, order.append, 1)
+            eng.schedule(3, order.append, 2)
+            eng.schedule(1, order.append, 3)
+            eng.schedule(3, order.append, 4, priority=-1)
+            eng.run()
+            return order
+
+        assert build() == build() == [3, 4, 1, 2]

@@ -1,0 +1,154 @@
+"""Unit tests for the three-level cache hierarchy."""
+
+import pytest
+
+from repro.cpu.cache import CacheParams
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyParams
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def small_params():
+    """Small caches so evictions are easy to provoke."""
+    return HierarchyParams(
+        l1=CacheParams("L1", 512, 2, 64, 2),
+        l2=CacheParams("L2", 1024, 2, 64, 6),
+        l3=CacheParams("L3", 4096, 4, 64, 20),
+        mshr_capacity=4,
+    )
+
+
+@pytest.fixture
+def rig(small_params):
+    eng = Engine()
+    sent = []
+
+    def send(req):
+        sent.append(req)
+        # immediate-completion memory: respond next cycle
+        if not req.is_write:
+            eng.schedule(1, req.callback, req)
+
+    h = CacheHierarchy(small_params, num_cores=2, engine=eng, send_fn=send)
+    return eng, h, sent
+
+
+class TestLookupPath:
+    def test_miss_goes_to_memory(self, rig):
+        eng, h, sent = rig
+        res = h.access(0, 0x10000, False, on_fill=lambda r: None)
+        assert res.level == "MEM"
+        eng.run()
+        assert len(sent) == 1
+        assert h.memory_reads == 1
+
+    def test_fill_installs_all_levels(self, rig):
+        eng, h, sent = rig
+        h.access(0, 0x10000, False)
+        eng.run()
+        assert h.l1[0].contains(0x10000)
+        assert h.l2[0].contains(0x10000)
+        assert h.l3.contains(0x10000)
+
+    def test_l1_hit_after_fill(self, rig):
+        eng, h, sent = rig
+        h.access(0, 0x10000, False)
+        eng.run()
+        res = h.access(0, 0x10000, False)
+        assert res.level == "L1"
+        assert res.latency == h.params.l1_latency
+
+    def test_l2_hit_after_l1_eviction(self, rig):
+        eng, h, sent = rig
+        h.access(0, 0x10000, False)
+        eng.run()
+        # displace the line from tiny L1 (512 B, 2-way, 4 sets)
+        for i in range(1, 5):
+            h.access(0, 0x10000 + i * 4 * 64, False)
+            eng.run()
+        res = h.access(0, 0x10000, False)
+        assert res.level in ("L2", "L3")
+
+    def test_l3_shared_across_cores(self, rig):
+        eng, h, sent = rig
+        h.access(0, 0x10000, False)
+        eng.run()
+        res = h.access(1, 0x10000, False)  # other core: private miss, L3 hit
+        assert res.level == "L3"
+
+    def test_latencies_accumulate(self, small_params):
+        p = small_params
+        assert p.l1_latency == 2
+        assert p.l2_latency == 8
+        assert p.l3_latency == 28
+
+
+class TestMSHRBehaviour:
+    def test_secondary_miss_merges(self, rig):
+        eng, h, sent = rig
+        fills = []
+        h.access(0, 0x20000, False, on_fill=fills.append)
+        h.access(1, 0x20000, False, on_fill=fills.append)  # same line
+        eng.run()
+        assert len(sent) == 1  # single memory request
+        assert len(fills) == 2  # both waiters notified
+
+    def test_mshr_full_queues_without_loss(self, small_params):
+        eng = Engine()
+        sent = []
+
+        def send(req):
+            sent.append(req)
+            if not req.is_write:
+                eng.schedule(100, req.callback, req)
+
+        h = CacheHierarchy(small_params, 1, eng, send)
+        fills = []
+        for i in range(8):  # capacity is 4
+            h.access(0, 0x40000 + i * 4096, False, on_fill=fills.append)
+        eng.run()
+        assert len(fills) == 8
+        assert h.mshrs.stalls > 0
+
+    def test_write_miss_fetches_line(self, rig):
+        eng, h, sent = rig
+        h.access(0, 0x30000, True)
+        eng.run()
+        assert h.memory_reads == 1  # write-allocate fetch
+        assert h.l1[0].is_dirty(0x30000)
+
+
+class TestWritebacks:
+    def test_dirty_l3_eviction_writes_memory(self, small_params):
+        eng = Engine()
+        sent = []
+
+        def send(req):
+            sent.append(req)
+            if not req.is_write:
+                eng.schedule(1, req.callback, req)
+
+        h = CacheHierarchy(small_params, 1, eng, send)
+        # dirty a line, then stream enough conflicting lines that the dirty
+        # data cascades L1 -> L2 -> L3 -> memory
+        h.access(0, 0x0, True)
+        eng.run()
+        sets = h.l3.params.num_sets
+        for i in range(1, 24):
+            h.access(0, i * sets * 64, False)
+            eng.run()
+        assert h.memory_writes >= 1
+        assert any(r.is_write for r in sent)
+
+    def test_mpki(self, rig):
+        eng, h, sent = rig
+        h.access(0, 0x10000, False)
+        eng.run()
+        assert h.mpki(1000) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            h.mpki(0)
+
+    def test_num_cores_validated(self, small_params):
+        with pytest.raises(ValueError):
+            CacheHierarchy(small_params, 0, Engine(), lambda r: None)

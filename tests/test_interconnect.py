@@ -1,0 +1,120 @@
+"""Unit tests for packets, serial links and the crossbar."""
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.interconnect.crossbar import Crossbar
+from repro.interconnect.link import LinkDirection, SerialLink
+from repro.interconnect.packet import Packet, PacketKind, packet_bytes
+
+
+class TestPacket:
+    def test_sizes(self):
+        assert packet_bytes(PacketKind.READ_REQUEST, 64, 16) == 16
+        assert packet_bytes(PacketKind.WRITE_REQUEST, 64, 16) == 80
+        assert packet_bytes(PacketKind.READ_RESPONSE, 64, 16) == 80
+        assert packet_bytes(PacketKind.WRITE_RESPONSE, 64, 16) == 16
+
+    def test_flit_count(self):
+        p = Packet(PacketKind.READ_RESPONSE, 1, 0, 80)
+        assert p.flits(16) == 5
+        assert Packet(PacketKind.READ_REQUEST, 1, 0, 16).flits(16) == 1
+        assert Packet(PacketKind.READ_REQUEST, 1, 0, 17).flits(16) == 2
+
+    def test_str(self):
+        assert "rd_req" in str(Packet(PacketKind.READ_REQUEST, 9, 3, 16))
+
+
+class TestLinkDirection:
+    def test_serialization_time(self):
+        d = LinkDirection("d", bytes_per_cycle=8.0, serdes_latency=10, flit_bytes=16)
+        arrival, flits = d.send(0, 80)
+        assert arrival == 10 + 10  # 80/8 cycles + serdes
+        assert flits == 5
+
+    def test_back_to_back_serializes(self):
+        d = LinkDirection("d", 8.0, 0, 16)
+        a1, _ = d.send(0, 80)
+        a2, _ = d.send(0, 80)
+        assert a2 == a1 + 10
+
+    def test_idle_gap_no_penalty(self):
+        d = LinkDirection("d", 8.0, 0, 16)
+        d.send(0, 80)
+        a, _ = d.send(100, 80)
+        assert a == 110
+
+    def test_minimum_one_cycle(self):
+        d = LinkDirection("d", 100.0, 0, 16)
+        a, _ = d.send(0, 1)
+        assert a == 1
+
+    def test_counters_and_utilization(self):
+        d = LinkDirection("d", 8.0, 0, 16)
+        d.send(0, 80)
+        d.send(0, 16)
+        assert d.packets == 2
+        assert d.bytes_sent == 96
+        assert d.flits_sent == 6
+        assert d.busy_cycles == 10 + 2
+        assert d.utilization(24) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkDirection("d", 0, 0, 16)
+        with pytest.raises(ValueError):
+            LinkDirection("d", 8, -1, 16)
+        d = LinkDirection("d", 8, 0, 16)
+        with pytest.raises(ValueError):
+            d.send(0, 0)
+
+
+class TestSerialLink:
+    def test_directions_independent(self):
+        l = SerialLink(0, 8.0, 0, 16)
+        l.request.send(0, 80)
+        a, _ = l.response.send(0, 80)
+        assert a == 10  # no interference from the request direction
+
+    def test_total_flits(self):
+        l = SerialLink(0, 8.0, 0, 16)
+        l.request.send(0, 16)
+        l.response.send(0, 80)
+        assert l.total_flits == 6
+
+    def test_config_derived_bandwidth(self):
+        cfg = HMCConfig()
+        # Table I: 16 lanes x 12.5 Gbps at 3 GHz -> ~8.33 B/cycle
+        assert cfg.link_bytes_per_cycle == pytest.approx(8.333, rel=1e-3)
+
+
+class TestCrossbar:
+    def test_fixed_latency(self):
+        xb = Crossbar(vaults=4, latency=4)
+        assert xb.route(10, 2) == 14
+        assert xb.traversals == 1
+
+    def test_port_occupancy(self):
+        xb = Crossbar(vaults=4, latency=4, port_cycle=2)
+        a = xb.route(0, 1)
+        b = xb.route(0, 1)  # same port, same cycle -> pushed back
+        assert b == a + 2
+        assert xb.port_conflicts == 1
+
+    def test_different_ports_no_conflict(self):
+        xb = Crossbar(vaults=4, latency=4)
+        assert xb.route(0, 0) == xb.route(0, 1)
+        assert xb.port_conflicts == 0
+
+    def test_vault_range_checked(self):
+        xb = Crossbar(vaults=4, latency=4)
+        with pytest.raises(ValueError):
+            xb.route(0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 4)
+        with pytest.raises(ValueError):
+            Crossbar(4, -1)
+        with pytest.raises(ValueError):
+            Crossbar(4, 4, port_cycle=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cpu.mshr import MSHRFile
+from repro.request import MemoryRequest
+
+
+def req(addr=0):
+    return MemoryRequest(addr, False)
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        m = MSHRFile(4)
+        e = m.allocate(0x100, req(0x100), now=5)
+        assert m.lookup(0x100) is e
+        assert e.issued_cycle == 5
+        assert m.primary_misses == 1
+
+    def test_duplicate_allocation_rejected(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, req(), 0)
+        with pytest.raises(ValueError):
+            m.allocate(0x100, req(), 0)
+
+    def test_full_allocation_rejected(self):
+        m = MSHRFile(1)
+        m.allocate(0x100, req(), 0)
+        assert m.full
+        with pytest.raises(RuntimeError):
+            m.allocate(0x200, req(), 0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestMerging:
+    def test_merge_attaches_waiter(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, req(), 0)
+        calls = []
+        assert m.merge(0x100, calls.append)
+        assert m.secondary_misses == 1
+        waiters = m.complete(0x100, req())
+        assert waiters == [calls.append]
+
+    def test_merge_miss_returns_false(self):
+        m = MSHRFile(4)
+        assert not m.merge(0x100, lambda r: None)
+        assert m.secondary_misses == 0
+
+    def test_multiple_waiters_order_preserved(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, req(), 0)
+        w1, w2 = (lambda r: 1), (lambda r: 2)
+        m.merge(0x100, w1)
+        m.merge(0x100, w2)
+        assert m.complete(0x100, req()) == [w1, w2]
+
+
+class TestCompletion:
+    def test_complete_frees_slot(self):
+        m = MSHRFile(1)
+        m.allocate(0x100, req(), 0)
+        m.complete(0x100, req())
+        assert not m.full
+        assert len(m) == 0
+        m.allocate(0x200, req(), 0)  # no error
+
+    def test_complete_unknown_raises(self):
+        m = MSHRFile(4)
+        with pytest.raises(KeyError):
+            m.complete(0x999, req())
+
+    def test_stall_counter(self):
+        m = MSHRFile(1)
+        m.note_stall()
+        m.note_stall()
+        assert m.stalls == 2

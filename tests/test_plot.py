@@ -1,0 +1,52 @@
+"""Unit tests for the terminal bar charts."""
+
+import pytest
+
+from repro.metrics.plot import bar_chart, summary_bars
+
+
+@pytest.fixture
+def data():
+    return {
+        "HM1": {"base": 1.0, "camps": 1.25},
+        "LM1": {"base": 1.0, "camps": 1.10},
+    }
+
+
+class TestBarChart:
+    def test_contains_workloads_schemes_values(self, data):
+        text = bar_chart(data, ["base", "camps"], "Fig")
+        assert "HM1" in text and "LM1" in text
+        assert "camps" in text
+        assert "1.250" in text
+
+    def test_bar_lengths_proportional(self, data):
+        text = bar_chart(data, ["base", "camps"], "Fig", width=40)
+        lines = [l for l in text.splitlines() if "base" in l or "camps" in l]
+        base_len = lines[0].count("#")
+        camps_len = lines[1].count("=")
+        assert camps_len > base_len
+
+    def test_baseline_marker(self, data):
+        text = bar_chart(data, ["base", "camps"], "Fig", baseline=1.0)
+        assert "|" in text
+
+    def test_legend(self, data):
+        text = bar_chart(data, ["base", "camps"], "Fig")
+        assert "legend:" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({}, [], "Fig")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": {"s": 0.0}}, ["s"], "Fig")
+
+    def test_summary_bars_wrapper(self, data):
+        assert "HM1" in summary_bars(data, ["base", "camps"], "S")
+
+    def test_many_schemes_cycle_fills(self):
+        row = {f"s{i}": 1.0 + i * 0.1 for i in range(9)}
+        text = bar_chart({"W": row}, list(row), "Fig")
+        assert "legend:" in text

@@ -1,0 +1,67 @@
+"""Unit tests for the Prefetcher base class and NullPrefetcher."""
+
+import pytest
+
+from repro.core.prefetcher import NullPrefetcher, PrefetchAction, Prefetcher
+from repro.core.buffer import LRUPolicy
+from repro.dram.bank import RowOutcome
+from repro.hmc.config import HMCConfig
+
+
+class TestPrefetchAction:
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchAction(0, 1, 0)
+
+    def test_defaults(self):
+        a = PrefetchAction(2, 9, 0xFFFF)
+        assert a.precharge_after is True
+        assert a.seed_ref_mask == 0
+
+    def test_frozen(self):
+        a = PrefetchAction(0, 1, 1)
+        with pytest.raises(Exception):
+            a.row = 5
+
+
+class TestBaseClass:
+    def test_full_mask_matches_config(self):
+        pf = NullPrefetcher(0, HMCConfig())
+        assert pf.full_mask == 0xFFFF
+        pf2 = NullPrefetcher(0, HMCConfig(row_bytes=512))
+        assert pf2.full_mask == 0xFF
+
+    def test_default_policy_is_lru(self):
+        assert isinstance(NullPrefetcher(0, HMCConfig()).make_policy(), LRUPolicy)
+
+    def test_count_issue_accumulates(self):
+        pf = NullPrefetcher(0, HMCConfig())
+        actions = [PrefetchAction(0, 1, 1), PrefetchAction(0, 2, 1)]
+        out = pf._count_issue(actions)
+        assert out is actions
+        assert pf.prefetches_issued == 2
+
+    def test_bind_attaches_controller(self):
+        pf = NullPrefetcher(0, HMCConfig())
+        sentinel = object()
+        pf.bind(sentinel)
+        assert pf.controller is sentinel
+
+    def test_describe_defaults_to_name(self):
+        assert NullPrefetcher(0, HMCConfig()).describe() == "none"
+
+    def test_on_buffer_hit_default_noop(self):
+        pf = NullPrefetcher(0, HMCConfig())
+        pf.on_buffer_hit(0, 1, 2, False, 10)  # must not raise
+
+
+class TestNullPrefetcher:
+    def test_never_prefetches(self):
+        pf = NullPrefetcher(0, HMCConfig())
+        for outcome in RowOutcome:
+            assert pf.on_demand_access(0, 1, 2, False, outcome, 0) == []
+        assert pf.prefetches_issued == 0
+
+    def test_declares_no_buffer(self):
+        assert NullPrefetcher.uses_buffer is False
+        assert Prefetcher.uses_buffer is True

@@ -1,0 +1,110 @@
+"""Unit tests for the vault request queues."""
+
+import pytest
+
+from repro.request import MemoryRequest
+from repro.vault.queues import VaultQueues
+
+
+def req(addr=0, write=False, bank=0, row=0):
+    r = MemoryRequest(addr, write)
+    r.bank, r.row = bank, row
+    return r
+
+
+class TestAdmission:
+    def test_reads_and_writes_separate(self):
+        q = VaultQueues(4, 4)
+        assert q.admit(req(write=False))
+        assert q.admit(req(write=True))
+        assert len(q.reads) == 1 and len(q.writes) == 1
+
+    def test_overflow_goes_to_staging(self):
+        q = VaultQueues(read_depth=2, write_depth=2)
+        for _ in range(3):
+            q.admit(req())
+        assert len(q.reads) == 2
+        assert len(q.staging) == 1
+        assert q.staged == 1
+
+    def test_promote_after_space_frees(self):
+        q = VaultQueues(read_depth=1, write_depth=1)
+        a, b = req(), req()
+        q.admit(a)
+        q.admit(b)  # staged
+        q.remove(a)
+        assert q.promote() == 1
+        assert list(q.reads) == [b]
+
+    def test_promote_preserves_order(self):
+        q = VaultQueues(read_depth=1, write_depth=4)
+        first, second, third = req(row=1), req(row=2), req(row=3)
+        q.admit(first)
+        q.admit(second)
+        q.admit(third)
+        q.remove(first)
+        q.promote()
+        assert list(q.reads) == [second]
+        q.remove(second)
+        q.promote()
+        assert list(q.reads) == [third]
+
+    def test_promote_blocked_direction_does_not_block_other(self):
+        q = VaultQueues(read_depth=1, write_depth=1)
+        q.admit(req(write=False))
+        q.admit(req(write=False))  # staged read, blocked
+        w = req(write=True)
+        q.admit(w)  # write goes straight in
+        assert list(q.writes) == [w]
+
+    def test_max_occupancy_tracked(self):
+        q = VaultQueues(8, 8)
+        for _ in range(3):
+            q.admit(req())
+        q.admit(req(write=True))
+        assert q.max_read_occupancy == 3
+        assert q.max_write_occupancy == 1
+
+
+class TestRemoval:
+    def test_remove_by_identity(self):
+        q = VaultQueues()
+        a, b = req(row=1), req(row=2)
+        q.admit(a)
+        q.admit(b)
+        q.remove(a)
+        assert list(q.reads) == [b]
+
+    def test_remove_unknown_raises(self):
+        q = VaultQueues()
+        with pytest.raises(ValueError):
+            q.remove(req())
+
+
+class TestViews:
+    def test_count_row_reads(self):
+        q = VaultQueues()
+        q.admit(req(bank=1, row=5))
+        q.admit(req(bank=1, row=5))
+        q.admit(req(bank=1, row=6))
+        q.admit(req(bank=1, row=5, write=True))  # writes not counted
+        assert q.count_row_reads(1, 5) == 2
+
+    def test_oldest_read(self):
+        q = VaultQueues()
+        assert q.oldest_read() is None
+        a = req(row=1)
+        q.admit(a)
+        q.admit(req(row=2))
+        assert q.oldest_read() is a
+
+    def test_len_includes_staging(self):
+        q = VaultQueues(read_depth=1, write_depth=1)
+        for _ in range(3):
+            q.admit(req())
+        assert len(q) == 3
+        assert q.total_pending == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VaultQueues(read_depth=0)

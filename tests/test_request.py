@@ -1,0 +1,35 @@
+"""Unit tests for the MemoryRequest record."""
+
+import pytest
+
+from repro.request import MemoryRequest, ServiceSource
+
+
+class TestMemoryRequest:
+    def test_unique_ids(self):
+        a, b = MemoryRequest(0, False), MemoryRequest(0, False)
+        assert a.req_id != b.req_id
+
+    def test_latency_requires_completion(self):
+        r = MemoryRequest(0, False, issue_cycle=10)
+        assert not r.is_complete
+        with pytest.raises(ValueError):
+            _ = r.latency
+
+    def test_latency(self):
+        r = MemoryRequest(0, False, issue_cycle=10)
+        r.complete_cycle = 150
+        assert r.is_complete
+        assert r.latency == 140
+
+    def test_defaults(self):
+        r = MemoryRequest(0x123, True, core_id=3)
+        assert r.is_write and r.core_id == 3
+        assert r.vault == -1 and r.source is None
+
+    def test_service_source_values(self):
+        assert {s.value for s in ServiceSource} == {"bank", "buffer", "in_flight"}
+
+    def test_repr_shows_kind(self):
+        assert " W " in repr(MemoryRequest(0, True))
+        assert " R " in repr(MemoryRequest(0, False))

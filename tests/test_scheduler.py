@@ -1,0 +1,144 @@
+"""Unit tests for FR-FCFS scheduling."""
+
+import pytest
+
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.timing import DRAMTimings
+from repro.request import MemoryRequest
+from repro.vault.queues import VaultQueues
+from repro.vault.scheduler import FRFCFSScheduler
+
+
+def req(bank=0, row=0, write=False):
+    r = MemoryRequest(0, write)
+    r.bank, r.row = bank, row
+    return r
+
+
+@pytest.fixture
+def setup():
+    t = DRAMTimings()
+    banks = [Bank(i, t) for i in range(4)]
+    queues = VaultQueues(8, 8)
+    sched = FRFCFSScheduler(banks, queues)
+    return banks, queues, sched
+
+
+class TestFirstReady:
+    def test_oldest_when_no_row_hits(self, setup):
+        banks, q, s = setup
+        a, b = req(bank=0, row=1), req(bank=1, row=2)
+        q.admit(a)
+        q.admit(b)
+        assert s.next_request(0) is a
+
+    def test_row_hit_bypasses_older(self, setup):
+        banks, q, s = setup
+        banks[1].access(AccessKind.READ, 7, 0)  # open row 7 in bank 1
+        now = banks[1].busy_until
+        older = req(bank=0, row=1)
+        hit = req(bank=1, row=7)
+        q.admit(older)
+        q.admit(hit)
+        assert s.next_request(now) is hit
+        assert s.row_hit_issues == 1
+
+    def test_oldest_row_hit_wins_among_hits(self, setup):
+        banks, q, s = setup
+        banks[0].access(AccessKind.READ, 7, 0)
+        now = banks[0].busy_until
+        h1, h2 = req(bank=0, row=7), req(bank=0, row=7)
+        q.admit(h1)
+        q.admit(h2)
+        assert s.next_request(now) is h1
+
+    def test_busy_bank_skipped(self, setup):
+        banks, q, s = setup
+        banks[0].access(AccessKind.READ, 1, 0)  # bank 0 busy until finish
+        blocked = req(bank=0, row=1)
+        ready = req(bank=1, row=2)
+        q.admit(blocked)
+        q.admit(ready)
+        assert s.next_request(0) is ready
+
+    def test_nothing_ready_returns_none(self, setup):
+        banks, q, s = setup
+        banks[0].access(AccessKind.READ, 1, 0)
+        q.admit(req(bank=0, row=1))
+        assert s.next_request(0) is None
+
+    def test_chosen_request_removed_from_queue(self, setup):
+        banks, q, s = setup
+        a = req(bank=0, row=1)
+        q.admit(a)
+        s.next_request(0)
+        assert len(q.reads) == 0
+
+
+class TestReadWritePriority:
+    def test_reads_before_writes(self, setup):
+        banks, q, s = setup
+        w = req(bank=0, row=1, write=True)
+        r = req(bank=1, row=2, write=False)
+        q.admit(w)
+        q.admit(r)
+        assert s.next_request(0) is r
+
+    def test_writes_issue_when_no_reads(self, setup):
+        banks, q, s = setup
+        w = req(bank=0, row=1, write=True)
+        q.admit(w)
+        assert s.next_request(0) is w
+
+    def test_drain_mode_flips_priority(self):
+        t = DRAMTimings()
+        banks = [Bank(i, t) for i in range(4)]
+        q = VaultQueues(8, 8)
+        s = FRFCFSScheduler(banks, q, write_high_watermark=2, write_low_watermark=0)
+        q.admit(req(bank=1, row=9))
+        w1, w2 = req(bank=0, row=1, write=True), req(bank=0, row=2, write=True)
+        q.admit(w1)
+        q.admit(w2)
+        assert s.next_request(0) is w1  # draining: writes first
+        assert s.draining
+
+    def test_drain_mode_exits_at_low_watermark(self):
+        t = DRAMTimings()
+        banks = [Bank(i, t) for i in range(4)]
+        q = VaultQueues(8, 8)
+        s = FRFCFSScheduler(banks, q, write_high_watermark=2, write_low_watermark=0)
+        q.admit(req(bank=0, row=1, write=True))
+        q.admit(req(bank=1, row=2, write=True))
+        s.next_request(0)
+        s.next_request(0)  # write queue now empty -> below low watermark
+        r = req(bank=2, row=3)
+        q.admit(r)
+        assert s.next_request(0) is r  # back to read priority
+        assert not s.draining
+
+    def test_watermark_validation(self):
+        t = DRAMTimings()
+        banks = [Bank(0, t)]
+        q = VaultQueues(8, 8)
+        with pytest.raises(ValueError):
+            FRFCFSScheduler(banks, q, write_high_watermark=1, write_low_watermark=5)
+
+
+class TestWakeup:
+    def test_earliest_wakeup_none_when_empty(self, setup):
+        banks, q, s = setup
+        assert s.earliest_wakeup(0) is None
+
+    def test_earliest_wakeup_none_when_issueable(self, setup):
+        banks, q, s = setup
+        q.admit(req(bank=0, row=1))
+        assert s.earliest_wakeup(0) is None
+
+    def test_earliest_wakeup_min_busy_until(self, setup):
+        banks, q, s = setup
+        banks[0].access(AccessKind.READ, 1, 0)
+        banks[1].access(AccessKind.READ, 1, 0)
+        banks[1].access(AccessKind.READ, 1, 0)  # bank 1 busy longer
+        q.admit(req(bank=0, row=1))
+        q.admit(req(bank=1, row=1))
+        assert s.earliest_wakeup(0) == banks[0].busy_until

@@ -1,0 +1,60 @@
+"""Unit tests for the scheme registry."""
+
+import pytest
+
+from repro.core.baselines import BaseHitPrefetcher, BasePrefetcher, MMDPrefetcher
+from repro.core.camps import CampsParams, CampsPrefetcher
+from repro.core.prefetcher import NullPrefetcher
+from repro.core.schemes import PAPER_SCHEMES, SCHEMES, make_prefetcher, scheme_names
+from repro.hmc.config import HMCConfig
+
+
+@pytest.fixture
+def cfg():
+    return HMCConfig()
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(scheme_names()) == {
+            "none",
+            "base",
+            "base-hit",
+            "mmd",
+            "camps",
+            "camps-mod",
+            "camps-fdp",
+        }
+
+    def test_paper_schemes_order(self):
+        assert PAPER_SCHEMES == ["base", "base-hit", "mmd", "camps", "camps-mod"]
+        assert all(s in SCHEMES for s in PAPER_SCHEMES)
+
+    def test_factory_types(self, cfg):
+        assert isinstance(make_prefetcher("none", 0, cfg), NullPrefetcher)
+        assert isinstance(make_prefetcher("base", 0, cfg), BasePrefetcher)
+        assert isinstance(make_prefetcher("base-hit", 0, cfg), BaseHitPrefetcher)
+        assert isinstance(make_prefetcher("mmd", 0, cfg), MMDPrefetcher)
+
+    def test_camps_variants(self, cfg):
+        camps = make_prefetcher("camps", 0, cfg)
+        mod = make_prefetcher("camps-mod", 0, cfg)
+        assert isinstance(camps, CampsPrefetcher) and not camps.modified
+        assert isinstance(mod, CampsPrefetcher) and mod.modified
+
+    def test_unknown_scheme_rejected(self, cfg):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_prefetcher("nope", 0, cfg)
+
+    def test_kwargs_forwarded(self, cfg):
+        pf = make_prefetcher(
+            "camps", 0, cfg, params=CampsParams(utilization_threshold=7)
+        )
+        assert pf.params.utilization_threshold == 7
+
+    def test_vault_id_attached(self, cfg):
+        assert make_prefetcher("base", 13, cfg).vault_id == 13
+
+    def test_none_has_no_buffer(self, cfg):
+        assert make_prefetcher("none", 0, cfg).uses_buffer is False
+        assert make_prefetcher("base", 0, cfg).uses_buffer is True

@@ -1,0 +1,146 @@
+"""Adversarial stress tests: pathological workloads and saturation.
+
+These exercise the corners that normal workloads avoid: every request to one
+bank, worst-case row ping-pong, zero-gap request storms that saturate the
+bounded queues, degenerate single-entry structures, and gigantic bursts.
+The system must never deadlock, lose a request, or violate invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+from repro.system import System, SystemConfig, run_system
+from repro.workloads.trace import Trace
+
+
+def coords_trace(coords, gap=0, writes=None):
+    m = AddressMapping(HMCConfig())
+    addrs = [m.encode(v, b, r, c) for v, b, r, c in coords]
+    n = len(addrs)
+    w = np.zeros(n, bool) if writes is None else np.array(writes, bool)
+    return Trace(np.full(n, gap), np.array(addrs), w)
+
+
+SCHEMES = ["none", "base", "base-hit", "mmd", "camps", "camps-mod"]
+
+
+class TestSingleBankSaturation:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_requests_one_bank_completes(self, scheme):
+        """500 zero-gap requests to a single bank: queue overflows into
+        staging, everything still drains."""
+        coords = [(0, 0, i % 3, i % 16) for i in range(500)]
+        t = coords_trace(coords)
+        r = run_system([t], scheme=scheme)
+        assert r.core_instructions[0] == t.instructions
+
+    def test_single_row_hammer(self):
+        """The same line, 1000 times: all hits or buffer hits; no conflicts."""
+        t = coords_trace([(0, 0, 7, 3)] * 1000)
+        for scheme in ("none", "camps-mod"):
+            r = run_system([t], scheme=scheme)
+            assert r.row_conflicts == 0
+
+    def test_worst_case_pingpong(self):
+        """Alternating rows in one bank, fully serialized (mlp=1 so FR-FCFS
+        cannot batch same-row requests): the conflict worst case.  CAMPS
+        must convert it into buffer hits; NONE must not."""
+        from repro.cpu.core import CoreParams
+
+        serial = CoreParams(mlp=1, rob_size=8)
+        coords = [(0, 0, i % 2, (i // 2) % 16) for i in range(600)]
+        t = coords_trace(coords)
+        none = run_system([t], scheme="none", core_params=serial)
+        camps = run_system([t], scheme="camps-mod", core_params=serial)
+        assert none.conflict_rate > 0.5
+        assert camps.buffer_hits > 0
+        assert camps.conflict_rate < none.conflict_rate
+        assert camps.geomean_ipc > none.geomean_ipc
+
+    def test_frfcfs_defuses_queued_pingpong(self):
+        """The same ping-pong under deep MLP: FR-FCFS reorders the queue
+        into row-hit batches, collapsing the conflict rate on its own."""
+        coords = [(0, 0, i % 2, (i // 2) % 16) for i in range(600)]
+        t = coords_trace(coords)
+        r = run_system([t], scheme="none")  # default mlp=8, zero gaps
+        assert r.conflict_rate < 0.2
+
+
+class TestSaturationStorms:
+    def test_eight_cores_zero_gap_storm(self):
+        """8 cores, all zero-gap, same vault window: maximal queue pressure."""
+        traces = []
+        for core in range(8):
+            coords = [(core % 4, 0, i % 5, i % 16) for i in range(300)]
+            traces.append(coords_trace(coords))
+        r = run_system(traces, scheme="camps-mod")
+        assert all(i > 0 for i in r.core_ipc)
+
+    def test_write_only_storm_drains(self):
+        """Pure write traffic exercises the write-drain watermark path."""
+        coords = [(i % 2, i % 4, i % 6, i % 16) for i in range(400)]
+        t = coords_trace(coords, writes=[True] * 400)
+        r = run_system([t], scheme="camps-mod")
+        assert r.cycles > 0
+
+    def test_tiny_buffer_thrash(self):
+        """A 1-entry prefetch buffer under BASE: constant eviction churn."""
+        cfg = HMCConfig(pf_buffer_entries=1)
+        coords = [(0, 0, i % 8, i % 16) for i in range(300)]
+        r = run_system([coords_trace(coords)], scheme="base", hmc=cfg)
+        assert r.prefetches_issued > 50  # thrash happened
+        assert r.cycles > 0  # and completed
+
+    def test_single_vault_single_bank_cube(self):
+        """Degenerate 1x1 cube still works end to end."""
+        cfg = HMCConfig(vaults=1, banks_per_vault=1, pf_buffer_entries=2)
+        m = AddressMapping(cfg)
+        addrs = [m.encode(0, 0, i % 4, i % 16) for i in range(200)]
+        t = Trace(np.zeros(200), np.array(addrs), np.zeros(200, bool))
+        for scheme in ("none", "base", "camps-mod"):
+            r = run_system([t], scheme=scheme, hmc=cfg)
+            assert r.cycles > 0
+
+
+class TestExtremeParameters:
+    def test_mlp_one_fully_serial_core(self):
+        from repro.cpu.core import CoreParams
+
+        coords = [(i % 4, i % 4, i % 4, i % 16) for i in range(150)]
+        t = coords_trace(coords, gap=2)
+        serial = run_system(
+            [t], scheme="none", core_params=CoreParams(mlp=1, rob_size=4)
+        )
+        parallel = run_system(
+            [t], scheme="none", core_params=CoreParams(mlp=16, rob_size=512)
+        )
+        assert serial.cycles > parallel.cycles
+
+    def test_huge_gaps_idle_system(self):
+        """Sparse traffic (gap 50k instructions) - long idle stretches must
+        not confuse wake logic or refresh."""
+        coords = [(i % 8, 0, i, 0) for i in range(20)]
+        t = coords_trace(coords, gap=50_000)
+        r = run_system(
+            [t], scheme="camps-mod", hmc=HMCConfig(refresh_enabled=True)
+        )
+        assert r.cycles > 20 * 50_000 / 4  # at least the compute time
+
+    def test_request_to_enormous_row_id(self):
+        """Row indices far beyond any real capacity still simulate (the
+        model is not capacity-checked by design - traces define the space)."""
+        m = AddressMapping(HMCConfig())
+        addrs = [m.encode(0, 0, (1 << 30) + i, 0) for i in range(50)]
+        t = Trace(np.zeros(50), np.array(addrs), np.zeros(50, bool))
+        r = run_system([t], scheme="camps-mod")
+        assert r.cycles > 0
+
+    def test_interleaved_read_write_same_line(self):
+        """R/W/R/W to one line: dirty state must survive buffer residency."""
+        coords = [(0, 0, 5, 3)] * 40
+        writes = [i % 2 == 1 for i in range(40)]
+        t = coords_trace(coords, writes=writes)
+        r = run_system([t], scheme="base")
+        assert r.cycles > 0

@@ -1,0 +1,112 @@
+"""Tests for the sweep framework and config serialization."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.sweep import Sweep
+from repro.hmc.config import HMCConfig
+
+
+class TestSweepSpec:
+    def test_hmc_field_accepted(self):
+        Sweep("pf_buffer_entries", [8, 16])
+
+    def test_timings_field_accepted(self):
+        Sweep("timings.trow_tsv", [16, 48])
+
+    def test_scheme_field_accepted(self):
+        Sweep("scheme:utilization_threshold", [2, 4])
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("bogus_field", [1])
+        with pytest.raises(ValueError):
+            Sweep("timings.bogus", [1])
+        with pytest.raises(ValueError):
+            Sweep("scheme:bogus", [1])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("pf_buffer_entries", [])
+
+
+class TestSweepExecution:
+    def test_hmc_sweep_runs(self):
+        r = Sweep("pf_buffer_entries", [8, 16]).run(
+            "LM4", "camps-mod", refs_per_core=300
+        )
+        assert len(r.points) == 2
+        assert r.points[0].value == 8
+        assert all(p.speedup_vs_base is not None for p in r.points)
+        assert "best:" in r.text()
+
+    def test_timings_sweep_changes_outcome(self):
+        r = Sweep("timings.trow_tsv", [8, 128]).run(
+            "LM4", "base", refs_per_core=300, baseline_scheme=None
+        )
+        # slower row transfers -> slower BASE (it fetches constantly)
+        assert r.points[1].result.cycles > r.points[0].result.cycles
+        assert all(p.speedup_vs_base is None for p in r.points)
+
+    def test_scheme_sweep_changes_prefetch_volume(self):
+        r = Sweep("scheme:utilization_threshold", [1, 12]).run(
+            "LM4", "camps-mod", refs_per_core=300, baseline_scheme=None
+        )
+        assert (
+            r.points[0].result.prefetches_issued
+            > r.points[1].result.prefetches_issued
+        )
+
+    def test_best_picks_maximum(self):
+        r = Sweep("pf_buffer_entries", [4, 16]).run(
+            "LM4", "camps-mod", refs_per_core=300
+        )
+        best = r.best()
+        assert best.speedup_vs_base == max(p.speedup_vs_base for p in r.points)
+
+    def test_cli_sweep(self, capsys):
+        rc = main(
+            ["sweep", "pf_buffer_entries", "8,16", "--mix", "LM4", "--refs", "250"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep of pf_buffer_entries" in out and "best:" in out
+
+
+class TestConfigSerialization:
+    def test_roundtrip_default(self):
+        cfg = HMCConfig()
+        assert HMCConfig.from_json(cfg.to_json()) == cfg
+
+    def test_roundtrip_modified(self):
+        cfg = HMCConfig(
+            pf_buffer_entries=8,
+            refresh_enabled=True,
+            page_policy="closed",
+            address_mapping="RoVaBaCo",
+        )
+        assert HMCConfig.from_json(cfg.to_json()) == cfg
+
+    def test_file_roundtrip(self, tmp_path):
+        cfg = HMCConfig(vaults=8, banks_per_vault=8)
+        path = tmp_path / "cfg.json"
+        cfg.to_json(path)
+        assert HMCConfig.from_json(path) == cfg
+
+    def test_to_dict_nested(self):
+        d = HMCConfig().to_dict()
+        assert d["timings"]["trcd"] == 11
+        assert d["energy"]["act_pj"] == 900.0
+
+    def test_from_dict_validates(self):
+        d = HMCConfig().to_dict()
+        d["vaults"] = 3  # not a power of two
+        with pytest.raises(ValueError):
+            HMCConfig.from_dict(d)
+
+    def test_from_dict_rebuilds_timings(self):
+        d = HMCConfig().to_dict()
+        d["timings"]["trcd"] = 15
+        cfg = HMCConfig.from_dict(d)
+        assert cfg.timings.trcd == 15
+        assert cfg.timings.trcd_cpu > 0  # derived fields recomputed

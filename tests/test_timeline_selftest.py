@@ -1,0 +1,119 @@
+"""Tests for the timeline module, new SPEC profiles and the selftest CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.metrics.timeline import Timeline, sparkline
+from repro.sim.engine import Engine
+from repro.workloads.spec import PROFILES
+from repro.workloads.synthetic import generate_trace
+
+
+class TestSparkline:
+    def test_levels_span_range(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_pooling_to_width(self):
+        s = sparkline(list(range(1000)), width=40)
+        assert len(s) == 40
+        # still monotone after pooling
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=64)) == 2
+
+
+class TestTimeline:
+    def test_records_series(self):
+        eng = Engine()
+        state = {"v": 0}
+
+        def bump():
+            state["v"] += 1
+
+        tl = Timeline(eng, interval=10)
+        tl.probe("v", lambda: state["v"])
+        tl.start()
+        for t in range(5, 100, 7):
+            eng.schedule(t, bump)
+        eng.run()
+        assert len(tl.times) == len(tl.series["v"]) > 3
+        assert tl.series["v"] == sorted(tl.series["v"])  # monotone counter
+
+    def test_text_rendering(self):
+        eng = Engine()
+        tl = Timeline(eng, interval=5)
+        tl.probe("x", lambda: eng.now)
+        tl.start()
+        eng.schedule(30, lambda: None)
+        eng.run()
+        text = tl.text()
+        assert "timeline:" in text and "mean=" in text
+
+    def test_no_samples(self):
+        tl = Timeline(Engine())
+        assert tl.text() == "(no samples)"
+
+    def test_duplicate_probe_rejected(self):
+        tl = Timeline(Engine())
+        tl.probe("x", lambda: 1)
+        with pytest.raises(ValueError):
+            tl.probe("x", lambda: 2)
+
+    def test_weak_events_do_not_block(self):
+        eng = Engine()
+        tl = Timeline(eng, interval=1)
+        tl.probe("x", lambda: 1)
+        tl.start()
+        eng.schedule(5, lambda: None)
+        eng.run()
+        assert eng.now == 5
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            Timeline(Engine(), interval=0)
+
+
+class TestExtendedProfiles:
+    FULL_SUITE_EXTRAS = [
+        "libquantum", "soplex", "leslie3d", "xalancbmk", "perlbench",
+        "gobmk", "hmmer", "sjeng", "namd", "dealII", "gromacs",
+        "calculix", "povray", "gamess",
+    ]
+
+    def test_suite_has_29_profiles(self):
+        assert len(PROFILES) == 29
+
+    @pytest.mark.parametrize("name", FULL_SUITE_EXTRAS)
+    def test_extra_profiles_hit_their_mpki(self, name):
+        t = generate_trace(name, 4000, seed=2)
+        target = PROFILES[name].mpki
+        assert t.mpki == pytest.approx(target, rel=0.25), name
+
+    def test_libquantum_is_pure_stream(self):
+        from repro.workloads.analysis import analyze_row_buffer
+
+        p = analyze_row_buffer(generate_trace("libquantum", 4000, seed=1))
+        assert p.hit_rate > 0.6  # single stream, full rows
+
+    def test_extra_profiles_simulate(self):
+        from repro.system import run_system
+
+        t = generate_trace("soplex", 400, seed=1)
+        r = run_system([t], scheme="camps-mod")
+        assert r.cycles > 0
+
+
+class TestSelftestCLI:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        assert "camps-mod" in out

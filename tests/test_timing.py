@@ -1,0 +1,88 @@
+"""Unit tests for DRAM timing conversion and composite latencies."""
+
+import math
+
+import pytest
+
+from repro.dram.timing import DRAMTimings
+
+
+class TestConversion:
+    def test_default_ratio(self):
+        t = DRAMTimings()
+        assert t.ratio == pytest.approx(3.0 / 0.8)
+
+    def test_cpu_cycles_round_up(self):
+        t = DRAMTimings()
+        # 11 mem cycles * 3.75 = 41.25 -> 42
+        assert t.trcd_cpu == math.ceil(11 * 3.75)
+        assert t.trp_cpu == t.trcd_cpu
+        assert t.tcl_cpu == t.trcd_cpu
+
+    def test_one_to_one_ratio(self):
+        t = DRAMTimings(cpu_freq_ghz=1.0, dram_freq_ghz=1.0)
+        assert t.trcd_cpu == t.trcd
+        assert t.tburst_cpu == t.tburst
+
+    def test_all_derived_fields_positive(self):
+        t = DRAMTimings()
+        for name in ("trcd", "trp", "tcl", "tburst", "twr", "tras", "trow_tsv"):
+            assert getattr(t, f"{name}_cpu") >= getattr(t, name)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMTimings(cpu_freq_ghz=0)
+        with pytest.raises(ValueError):
+            DRAMTimings(dram_freq_ghz=-1)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMTimings(trcd=0)
+        with pytest.raises(ValueError):
+            DRAMTimings(tburst=-4)
+
+    def test_frozen(self):
+        t = DRAMTimings()
+        with pytest.raises(AttributeError):
+            t.trcd = 5
+
+
+class TestCompositeLatencies:
+    def test_hit_cheaper_than_empty_cheaper_than_conflict(self):
+        t = DRAMTimings()
+        assert t.row_hit_read < t.row_empty_read < t.row_conflict_read
+        assert t.row_hit_write < t.row_empty_write < t.row_conflict_write
+
+    def test_row_hit_read_components(self):
+        t = DRAMTimings()
+        assert t.row_hit_read == t.tcl_cpu + t.tburst_cpu
+
+    def test_row_empty_adds_activation(self):
+        t = DRAMTimings()
+        assert t.row_empty_read - t.row_hit_read == t.trcd_cpu
+
+    def test_row_conflict_adds_precharge(self):
+        t = DRAMTimings()
+        assert t.row_conflict_read - t.row_empty_read == t.trp_cpu
+
+    def test_row_fetch_open_skips_activation(self):
+        t = DRAMTimings()
+        assert t.row_fetch_to_buffer(row_open=False) - t.row_fetch_to_buffer(
+            row_open=True
+        ) == t.trcd_cpu
+
+    def test_row_fetch_includes_precharge(self):
+        t = DRAMTimings()
+        assert t.row_fetch_to_buffer(True) == t.tcl_cpu + t.trow_tsv_cpu + t.trp_cpu
+
+    def test_row_writeback_duration(self):
+        t = DRAMTimings()
+        assert (
+            t.row_writeback_from_buffer()
+            == t.trcd_cpu + t.trow_tsv_cpu + t.twr_cpu + t.trp_cpu
+        )
+
+    def test_faster_dram_shrinks_cpu_latency(self):
+        slow = DRAMTimings(dram_freq_ghz=0.8)
+        fast = DRAMTimings(dram_freq_ghz=1.6)
+        assert fast.row_conflict_read < slow.row_conflict_read

@@ -1,0 +1,219 @@
+"""Unit + statistical tests for traces, profiles, generators and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.workloads.mixes import MIXES, mix, mix_category, mix_names
+from repro.workloads.spec import PROFILES, BenchmarkProfile, profile
+from repro.workloads.synthetic import TraceGenerator, generate_trace
+from repro.workloads.trace import Trace, trace_stats
+
+
+class TestTrace:
+    def test_construction_and_len(self):
+        t = Trace([1, 2], [0, 64], [False, True], name="t")
+        assert len(t) == 2
+
+    def test_instruction_count(self):
+        t = Trace([9, 9], [0, 64], [False, False])
+        assert t.instructions == 20
+
+    def test_mpki(self):
+        t = Trace([999] * 10, list(range(0, 640, 64)), [False] * 10)
+        assert t.mpki == pytest.approx(1.0)
+
+    def test_write_fraction(self):
+        t = Trace([0] * 4, [0, 64, 128, 192], [True, True, False, False])
+        assert t.write_fraction == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace([1], [0, 64], [False, False])
+        with pytest.raises(ValueError):
+            Trace([-1], [0], [False])
+        with pytest.raises(ValueError):
+            Trace([1], [-5], [False])
+
+    def test_head(self):
+        t = Trace([1] * 10, list(range(0, 640, 64)), [False] * 10)
+        h = t.head(3)
+        assert len(h) == 3
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = generate_trace("gcc", 500, seed=7)
+        path = tmp_path / "t.npz"
+        t.save(path)
+        t2 = Trace.load(path)
+        assert np.array_equal(t.addrs, t2.addrs)
+        assert np.array_equal(t.gaps, t2.gaps)
+        assert np.array_equal(t.writes, t2.writes)
+
+    def test_stats_keys(self):
+        t = generate_trace("bwaves", 1000, seed=1)
+        s = trace_stats(t)
+        for key in ("mpki", "write_fraction", "lines_per_row", "row_switch_rate"):
+            assert key in s
+
+    def test_stats_empty_trace_rejected(self):
+        t = Trace([], [], [])
+        with pytest.raises(ValueError):
+            trace_stats(t)
+
+
+class TestProfiles:
+    def test_all_table2_benchmarks_present(self):
+        needed = {b for benches in MIXES.values() for b in benches}
+        assert needed <= set(PROFILES)
+
+    def test_hm_lm_classification_matches_paper_split(self):
+        hm = {"bwaves", "gems", "gcc", "lbm", "milc", "sphinx", "omnetpp", "mcf"}
+        table2 = {b for benches in MIXES.values() for b in benches}
+        for name in table2:
+            expected = "HM" if name in hm else "LM"
+            assert PROFILES[name].memory_intensity == expected, name
+
+    def test_mean_gap_from_mpki(self):
+        p = profile("mcf")
+        assert p.mean_gap == pytest.approx(1000 / p.mpki - 1)
+
+    def test_weights_normalized(self):
+        for p in PROFILES.values():
+            assert sum(p.weights) == pytest.approx(1.0)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            profile("doom")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 0, 0.1, 1, 0, 0, 2, 1, 4, 4096)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 10, 1.5, 1, 0, 0, 2, 1, 4, 4096)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 10, 0.1, 0, 0, 0, 2, 1, 4, 4096)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", 10, 0.1, 1, 0, 0, 0, 1, 4, 4096)
+
+
+class TestGenerator:
+    def test_exact_length(self):
+        assert len(generate_trace("gcc", 777, seed=1)) == 777
+
+    def test_deterministic_per_seed(self):
+        a = generate_trace("lbm", 1000, seed=42)
+        b = generate_trace("lbm", 1000, seed=42)
+        assert np.array_equal(a.addrs, b.addrs)
+        assert np.array_equal(a.gaps, b.gaps)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("lbm", 1000, seed=1)
+        b = generate_trace("lbm", 1000, seed=2)
+        assert not np.array_equal(a.addrs, b.addrs)
+
+    def test_mpki_close_to_target(self):
+        for bench in ("lbm", "astar"):
+            t = generate_trace(bench, 20_000, seed=3)
+            target = PROFILES[bench].mpki
+            assert t.mpki == pytest.approx(target, rel=0.15), bench
+
+    def test_write_fraction_close_to_target(self):
+        t = generate_trace("lbm", 20_000, seed=3)
+        assert t.write_fraction == pytest.approx(
+            PROFILES["lbm"].write_frac, abs=0.03
+        )
+
+    def test_streaming_profile_has_higher_row_utilization(self):
+        cfg = HMCConfig()
+        s_stream = trace_stats(generate_trace("lbm", 15_000, seed=5), cfg)
+        s_random = trace_stats(generate_trace("mcf", 15_000, seed=5), cfg)
+        assert s_stream["lines_per_row"] > 2 * s_random["lines_per_row"]
+
+    def test_cores_use_disjoint_rows(self):
+        cfg = HMCConfig()
+        t0 = generate_trace("gcc", 2000, seed=1, core_id=0)
+        t1 = generate_trace("gcc", 2000, seed=1, core_id=1)
+        from repro.hmc.address import AddressMapping
+
+        m = AddressMapping(cfg)
+        rows0 = set(m.decode_many(t0.addrs)[2].tolist())
+        rows1 = set(m.decode_many(t1.addrs)[2].tolist())
+        assert not rows0 & rows1
+
+    def test_addresses_within_cube_geometry(self):
+        cfg = HMCConfig()
+        from repro.hmc.address import AddressMapping
+
+        m = AddressMapping(cfg)
+        t = generate_trace("gems", 5000, seed=9)
+        v, b, r, c = m.decode_many(t.addrs)
+        assert v.max() < cfg.vaults and v.min() >= 0
+        assert b.max() < cfg.banks_per_vault
+
+    def test_accepts_profile_object(self):
+        t = generate_trace(PROFILES["wrf"], 100, seed=1)
+        assert len(t) == 100
+
+    def test_invalid_n_refs(self):
+        with pytest.raises(ValueError):
+            generate_trace("gcc", 0)
+
+
+class TestMixes:
+    def test_twelve_mixes(self):
+        assert len(MIXES) == 12
+        assert mix_names() == [
+            "HM1", "HM2", "HM3", "HM4",
+            "LM1", "LM2", "LM3", "LM4",
+            "MX1", "MX2", "MX3", "MX4",
+        ]
+
+    def test_each_mix_eight_slots(self):
+        for benches in MIXES.values():
+            assert len(benches) == 8
+
+    def test_table2_hm1_contents(self):
+        assert MIXES["HM1"] == [
+            "bwaves", "gems", "gcc", "lbm", "bwaves", "gcc", "lbm", "gems"
+        ]
+
+    def test_hm_mixes_all_high_intensity(self):
+        for name in ("HM1", "HM2", "HM3", "HM4"):
+            for b in MIXES[name]:
+                assert PROFILES[b].memory_intensity == "HM"
+
+    def test_lm_mixes_all_low_intensity(self):
+        for name in ("LM1", "LM2", "LM3", "LM4"):
+            for b in MIXES[name]:
+                assert PROFILES[b].memory_intensity == "LM"
+
+    def test_mx_mixes_are_mixed(self):
+        for name in ("MX1", "MX2", "MX3", "MX4"):
+            classes = {PROFILES[b].memory_intensity for b in MIXES[name]}
+            assert classes == {"HM", "LM"}
+
+    def test_mix_generates_eight_traces(self):
+        traces = mix("HM1", refs_per_core=200, seed=1)
+        assert len(traces) == 8
+        assert all(len(t) == 200 for t in traces)
+
+    def test_mix_deterministic(self):
+        a = mix("MX2", 300, seed=5)
+        b = mix("MX2", 300, seed=5)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.addrs, tb.addrs)
+
+    def test_mix_category(self):
+        assert mix_category("HM3") == "HM"
+        assert mix_category("MX1") == "MX"
+        with pytest.raises(ValueError):
+            mix_category("XX1")
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            mix("HM9", 100)
+
+    def test_trace_names_follow_slots(self):
+        traces = mix("LM1", 100, seed=1)
+        assert traces[0].name.startswith("cactus")
+        assert traces[3].name.startswith("wrf")
