@@ -26,6 +26,7 @@ Package layout:
 """
 
 from repro.hmc.config import HMCConfig
+from repro.obs import Tracer
 from repro.system import (
     SimulationResult,
     System,
@@ -36,13 +37,14 @@ from repro.workloads.mixes import mix, mix_names
 from repro.workloads.synthetic import generate_trace
 from repro.core.schemes import PAPER_SCHEMES, scheme_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HMCConfig",
     "SimulationResult",
     "System",
     "SystemConfig",
+    "Tracer",
     "run_system",
     "mix",
     "mix_names",

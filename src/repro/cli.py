@@ -4,6 +4,7 @@ Commands
 --------
 
 ``run``     simulate one Table II mix under one scheme and print the summary
+``profile`` run one cell under cProfile; report events/sec and hot callbacks
 ``figure``  regenerate one of the paper's figures (5-9) as a table/CSV
 ``table``   print Table I (configuration) or Table II (workload mixes)
 ``schemes`` list the registered prefetching schemes
@@ -12,6 +13,9 @@ Commands
 Examples::
 
     python -m repro run HM1 --scheme camps-mod --refs 5000
+    python -m repro run HM1 --scheme camps-mod --refs 3000 --trace out.json
+    python -m repro run HM1 --refs 2000 --json
+    python -m repro profile HM1 --refs 3000
     python -m repro figure 5 --mixes HM1,LM1 --refs 3000 --csv fig5.csv
     python -m repro table 1
     python -m repro trace lbm --refs 10000
@@ -20,6 +24,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -38,7 +43,7 @@ from repro.experiments.figures import (
 from repro.experiments.runner import ExperimentConfig, run_cell, run_matrix
 from repro.experiments.tables import table1_text, table2_text
 from repro.metrics.report import write_csv
-from repro.workloads.mixes import mix_names
+from repro.workloads.mixes import mix as make_mix, mix_names
 from repro.workloads.spec import PROFILES
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import trace_stats
@@ -66,22 +71,126 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(refs_per_core=args.refs, seed=args.seed)
 
 
+def _result_json(result, cfg) -> str:
+    """One-line machine-readable summary (CI harnesses scrape this)."""
+    payload = {
+        "mix": result.workload,
+        "scheme": result.scheme,
+        "refs_per_core": cfg.refs_per_core,
+        "seed": cfg.seed,
+        "cycles": result.cycles,
+        "geomean_ipc": result.geomean_ipc,
+        "core_ipc": result.core_ipc,
+        "conflict_rate": result.conflict_rate,
+        "row_conflicts": result.row_conflicts,
+        "demand_accesses": result.demand_accesses,
+        "buffer_hits": result.buffer_hits,
+        "prefetches_issued": result.prefetches_issued,
+        "row_accuracy": result.row_accuracy,
+        "line_accuracy": result.line_accuracy,
+        "mean_read_latency": result.mean_read_latency,
+        "energy_pj": result.energy_pj,
+        "link_utilization": result.link_utilization,
+    }
+    if "trace_summary" in result.extra:
+        payload["trace_summary"] = result.extra["trace_summary"]
+    return json.dumps(payload)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _experiment_config(args)
-    result = run_cell(args.mix, args.scheme, cfg)
+    tracer = None
+    if args.trace or args.log_json:
+        # Fail on bad output paths *before* simulating, not after.
+        from pathlib import Path
+
+        for raw in (args.trace, args.log_json):
+            if raw and not Path(raw).resolve().parent.is_dir():
+                raise SystemExit(
+                    f"output directory does not exist: {Path(raw).resolve().parent}"
+                )
+        # Tracing needs a live System (the result cache only stores
+        # summaries), so build the cell directly and bypass the cache.
+        from repro.obs import Tracer
+        from repro.system import System, SystemConfig
+
+        tracer = Tracer()
+        traces = make_mix(args.mix, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
+        result = System(
+            traces,
+            SystemConfig(hmc=cfg.hmc, scheme=args.scheme),
+            workload=args.mix,
+            tracer=tracer,
+        ).run()
+    else:
+        result = run_cell(args.mix, args.scheme, cfg)
+
+    if args.json:
+        print(_result_json(result, cfg))
+    else:
+        print(f"{args.mix} / {args.scheme} ({cfg.refs_per_core} refs/core, seed {cfg.seed})")
+        print(f"  cycles              {result.cycles}")
+        print(f"  geomean IPC         {result.geomean_ipc:.3f}")
+        print(f"  per-core IPC        {', '.join(f'{i:.2f}' for i in result.core_ipc)}")
+        print(f"  conflict rate       {result.conflict_rate:.3f}")
+        print(f"  prefetches issued   {result.prefetches_issued}")
+        print(f"  prefetch accuracy   {result.row_accuracy:.1%} (rows) / "
+              f"{result.line_accuracy:.1%} (lines)")
+        print(f"  mean read latency   {result.mean_read_latency:.0f} cycles")
+        print(f"  HMC energy          {result.energy_pj / 1e6:.1f} uJ")
+        if args.baseline and args.baseline != args.scheme and tracer is None:
+            base = run_cell(args.mix, args.baseline, cfg)
+            print(f"  speedup vs {args.baseline:<9} {result.speedup_vs(base):.3f}x")
+
+    if tracer is not None:
+        from repro.obs import text_summary, write_chrome_trace, write_jsonl
+
+        if args.trace:
+            path = write_chrome_trace(tracer, args.trace)
+            if not args.json:
+                print(f"  wrote Chrome trace  {path} "
+                      f"({len(tracer.events)} events; open in ui.perfetto.dev)")
+        if args.log_json:
+            path = write_jsonl(tracer, args.log_json)
+            if not args.json:
+                print(f"  wrote JSONL log     {path}")
+        if not args.json:
+            print()
+            print(text_summary(tracer))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation cell: engine throughput + hot callbacks."""
+    import cProfile
+    import pstats
+
+    cfg = _experiment_config(args)
+    traces = make_mix(args.mix, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
+    from repro.system import System, SystemConfig
+
+    system = System(
+        traces, SystemConfig(hmc=cfg.hmc, scheme=args.scheme), workload=args.mix
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = system.run()
+    profiler.disable()
+
+    eng = system.engine
     print(f"{args.mix} / {args.scheme} ({cfg.refs_per_core} refs/core, seed {cfg.seed})")
-    print(f"  cycles              {result.cycles}")
-    print(f"  geomean IPC         {result.geomean_ipc:.3f}")
-    print(f"  per-core IPC        {', '.join(f'{i:.2f}' for i in result.core_ipc)}")
-    print(f"  conflict rate       {result.conflict_rate:.3f}")
-    print(f"  prefetches issued   {result.prefetches_issued}")
-    print(f"  prefetch accuracy   {result.row_accuracy:.1%} (rows) / "
-          f"{result.line_accuracy:.1%} (lines)")
-    print(f"  mean read latency   {result.mean_read_latency:.0f} cycles")
-    print(f"  HMC energy          {result.energy_pj / 1e6:.1f} uJ")
-    if args.baseline and args.baseline != args.scheme:
-        base = run_cell(args.mix, args.baseline, cfg)
-        print(f"  speedup vs {args.baseline:<9} {result.speedup_vs(base):.3f}x")
+    print(f"  simulated cycles    {result.cycles}")
+    print(f"  events fired        {eng.events_fired}")
+    print(f"  wall time           {eng.wall_seconds:.3f} s (engine loop)")
+    print(f"  events/sec          {eng.events_per_sec:,.0f}")
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    print(f"top {args.top} callbacks by {args.sort} time:")
+    stats.print_stats(r"repro", args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote profile data to {args.out} (inspect with snakeviz/pstats)")
     return 0
 
 
@@ -252,7 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--baseline", default="base", choices=scheme_names())
     p_run.add_argument("--refs", type=int, default=4000)
     p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace-event JSON (ui.perfetto.dev)")
+    p_run.add_argument("--log-json", metavar="PATH",
+                       help="write every trace event as one JSON object per line")
+    p_run.add_argument("--json", action="store_true",
+                       help="print a one-line machine-readable JSON summary")
     p_run.set_defaults(fn=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one cell under cProfile; report hot callbacks"
+    )
+    p_prof.add_argument("mix", choices=mix_names())
+    p_prof.add_argument("--scheme", default="camps-mod", choices=scheme_names())
+    p_prof.add_argument("--refs", type=int, default=4000)
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="number of hot functions to print")
+    p_prof.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumtime", "ncalls"],
+                        help="pstats sort key")
+    p_prof.add_argument("--out", help="also dump raw pstats data to this file")
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=sorted(_FIGURES))

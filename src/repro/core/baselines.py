@@ -50,6 +50,7 @@ class BasePrefetcher(Prefetcher):
                     self.full_mask,
                     precharge_after=True,
                     seed_ref_mask=1 << column,
+                    provenance="base",
                 )
             ]
         )
@@ -92,6 +93,7 @@ class BaseHitPrefetcher(Prefetcher):
                         self.full_mask,
                         precharge_after=True,
                         seed_ref_mask=1 << column,
+                        provenance="queue",
                     )
                 ]
             )
@@ -205,7 +207,7 @@ class MMDPrefetcher(Prefetcher):
         if mask == 0:
             return []
         return self._count_issue(
-            [PrefetchAction(bank, row, mask, precharge_after=False)]
+            [PrefetchAction(bank, row, mask, precharge_after=False, provenance="mmd")]
         )
 
     def describe(self) -> str:

@@ -43,6 +43,7 @@ class BufferEntry:
         "recency",
         "ready_time",
         "insert_time",
+        "provenance",
     )
 
     def __init__(
@@ -52,6 +53,7 @@ class BufferEntry:
         valid_mask: int,
         ready_time: int,
         insert_time: int,
+        provenance: str = "",
     ) -> None:
         self.bank = bank
         self.row = row
@@ -63,6 +65,7 @@ class BufferEntry:
         self.recency = -1  # LRU stack position, managed by the buffer
         self.ready_time = ready_time  # cycle the row finishes arriving
         self.insert_time = insert_time
+        self.provenance = provenance  # decision path that fetched the row
 
     @property
     def key(self) -> RowKey:
@@ -251,13 +254,16 @@ class PrefetchBuffer:
         valid_mask: int,
         ready_time: int,
         now: int,
+        provenance: str = "",
     ) -> Optional[BufferEntry]:
         """Stage a (whole or partial) row arriving at ``ready_time``.
 
         If the row is already resident the masks merge (MMD extends partial
         rows this way).  Returns the evicted entry when the insertion
         displaced one, so the vault controller can write back dirty lines and
-        the caller can observe retirement.
+        the caller can observe retirement.  ``provenance`` tags the entry
+        with the decision path that fetched it (kept from the first insert
+        when masks merge).
         """
         full_mask = (1 << self.lines_per_row) - 1
         if valid_mask == 0 or valid_mask & ~full_mask:
@@ -283,7 +289,7 @@ class PrefetchBuffer:
             self._retire(victim)
             del self._entries[victim.key]
 
-        entry = BufferEntry(bank, row, valid_mask, ready_time, now)
+        entry = BufferEntry(bank, row, valid_mask, ready_time, now, provenance)
         self._entries[key] = entry
         self._make_mru(entry, old_value)
         self.rows_inserted += 1

@@ -97,6 +97,7 @@ class CampsPrefetcher(Prefetcher):
         outcome: RowOutcome,
         now: int,
     ) -> List[PrefetchAction]:
+        tracer = self.tracer
         if outcome is RowOutcome.HIT:
             util = self.rut.record_access(bank, row, column, now)
             if util >= self.params.utilization_threshold:
@@ -109,6 +110,8 @@ class CampsPrefetcher(Prefetcher):
                 seed = entry.line_mask if entry is not None else (1 << column)
                 self.rut.clear(bank)
                 self.utilization_prefetches += 1
+                if tracer is not None:
+                    tracer.rut_threshold(self.vault_id, bank, row, util, now)
                 return self._count_issue(
                     [
                         PrefetchAction(
@@ -117,6 +120,7 @@ class CampsPrefetcher(Prefetcher):
                             self.full_mask,
                             precharge_after=True,
                             seed_ref_mask=seed,
+                            provenance="utilization",
                         )
                     ]
                 )
@@ -127,12 +131,18 @@ class CampsPrefetcher(Prefetcher):
             # moves from the RUT to the CT.
             displaced = self.rut.replace(bank, row, now)
             if displaced is not None:
-                self.ct.insert(bank, displaced.row, now)
+                evicted = self.ct.insert(bank, displaced.row, now)
+                if tracer is not None:
+                    tracer.ct_insert(self.vault_id, bank, displaced.row, now)
+                    if evicted is not None:
+                        tracer.ct_evict(self.vault_id, evicted[0], evicted[1], now)
             if self.ct.check_and_remove(bank, row):
                 # This row has itself been conflicted out recently: it is
                 # conflict-prone, prefetch it now and close the bank.
                 self.rut.clear(bank)
                 self.conflict_prefetches += 1
+                if tracer is not None:
+                    tracer.ct_hit(self.vault_id, bank, row, now)
                 return self._count_issue(
                     [
                         PrefetchAction(
@@ -141,6 +151,7 @@ class CampsPrefetcher(Prefetcher):
                             self.full_mask,
                             precharge_after=True,
                             seed_ref_mask=1 << column,
+                            provenance="conflict",
                         )
                     ]
                 )
@@ -152,6 +163,8 @@ class CampsPrefetcher(Prefetcher):
         if self.ct.check_and_remove(bank, row):
             self.rut.clear(bank)
             self.conflict_prefetches += 1
+            if tracer is not None:
+                tracer.ct_hit(self.vault_id, bank, row, now)
             return self._count_issue(
                 [
                     PrefetchAction(
@@ -160,6 +173,7 @@ class CampsPrefetcher(Prefetcher):
                         self.full_mask,
                         precharge_after=True,
                         seed_ref_mask=1 << column,
+                        provenance="conflict",
                     )
                 ]
             )
@@ -169,6 +183,17 @@ class CampsPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def observed_stats(self) -> dict:
+        """CT/RUT gauges for the observability counter registry."""
+        stats = {
+            "utilization_prefetches": lambda: self.utilization_prefetches,
+            "conflict_prefetches": lambda: self.conflict_prefetches,
+            "rut_occupied": lambda: self.rut.occupied(),
+        }
+        for name, fn in self.ct.stats().items():
+            stats[f"ct_{name}"] = fn
+        return stats
+
     def describe(self) -> str:
         kind = "util+recency buffer" if self.modified else "LRU buffer"
         return (

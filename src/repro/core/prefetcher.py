@@ -40,6 +40,11 @@ class PrefetchAction:
     entry, so the paper's utilization counter - "distinct cache lines
     referenced within that row" - continues across the move.  CAMPS-MOD's
     fully-consumed eviction rule depends on this continuity.
+
+    ``provenance`` names the decision path that issued the action (CAMPS:
+    ``"utilization"`` or ``"conflict"``; other schemes use their own tags).
+    It travels with the row into the prefetch buffer so every later hit or
+    eviction event can be attributed to the trigger that fetched the row.
     """
 
     bank: int
@@ -47,6 +52,7 @@ class PrefetchAction:
     line_mask: int
     precharge_after: bool = True
     seed_ref_mask: int = 0
+    provenance: str = ""
 
     def __post_init__(self) -> None:
         if self.line_mask == 0:
@@ -66,6 +72,8 @@ class Prefetcher(abc.ABC):
         self.config = config
         self.controller: Optional["VaultController"] = None
         self.prefetches_issued = 0
+        #: observability hook (repro.obs.Tracer); installed by Tracer.wire_system
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -116,6 +124,11 @@ class Prefetcher(abc.ABC):
     def describe(self) -> str:
         """One-line human-readable description for reports."""
         return self.name
+
+    def observed_stats(self) -> dict:
+        """Scheme-specific gauges for the observability counter registry:
+        ``name -> zero-arg callable``.  Default: none."""
+        return {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} vault={self.vault_id}>"

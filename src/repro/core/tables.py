@@ -92,6 +92,13 @@ class RowUtilizationTable:
     def occupied(self) -> int:
         return sum(1 for e in self._entries if e is not None)
 
+    def stats(self) -> dict:
+        """Gauges for the observability counter registry (name -> callable)."""
+        return {
+            "occupied": self.occupied,
+            "banks": lambda: self.banks,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RUT {self.occupied()}/{self.banks} banks tracked>"
 
@@ -151,6 +158,22 @@ class ConflictTable:
             self._table.move_to_end(key)
             return True
         return False
+
+    def stats(self) -> dict:
+        """Gauges for the observability counter registry (name -> callable).
+
+        ``promotions`` is the paper's key CT health signal: how often a
+        recently conflicted row was re-activated soon enough to still be
+        resident - i.e. how many conflict-triggered prefetches the table
+        enabled.  A high eviction count at low promotions means the table is
+        too small for the conflict working set.
+        """
+        return {
+            "occupancy": lambda: len(self._table),
+            "insertions": lambda: self.insertions,
+            "promotions": lambda: self.promotions,
+            "evictions": lambda: self.evictions,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CT {len(self._table)}/{self.capacity}>"

@@ -74,6 +74,7 @@ class Bank:
         "refreshes",
         "record_commands",
         "command_log",
+        "tracer",
     )
 
     def __init__(
@@ -108,6 +109,9 @@ class Bank:
         self.refreshes = 0
         self.record_commands = record_commands
         self.command_log: List[Command] = []
+        # observability hook (repro.obs.Tracer); None keeps _log at one
+        # attribute check beyond the seed behaviour
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -115,6 +119,8 @@ class Bank:
     def _log(self, kind: CommandKind, row: int, cycle: int) -> None:
         if self.record_commands:
             self.command_log.append(Command(kind, self.bank_id, row, cycle))
+        if self.tracer is not None:
+            self.tracer.bank_command(self.bus.vault_id, self.bank_id, kind, row, cycle)
 
     def _earliest_precharge(self, at: int) -> int:
         """PRECHARGE may not issue before tRAS elapses after ACTIVATE."""
@@ -156,6 +162,10 @@ class Bank:
 
         if outcome is RowOutcome.CONFLICT:
             self.conflicts += 1
+            if self.tracer is not None:
+                self.tracer.bank_conflict(
+                    self.bus.vault_id, self.bank_id, self.open_row or 0, row, start
+                )
             pre_at = self._earliest_precharge(start)
             self._log(CommandKind.PRECHARGE, self.open_row or 0, pre_at)
             self.pres += 1

@@ -45,6 +45,8 @@ class HostController:
             for i in range(config.links)
         ]
         device.set_deliver_fn(self._respond_from_cube)
+        #: observability hook (repro.obs.Tracer); one None check per packet
+        self.tracer = None
         self.stats = StatGroup("host")
         self._c_reads = self.stats.counter("reads_sent")
         self._c_writes = self.stats.counter("writes_sent")
@@ -71,6 +73,8 @@ class HostController:
         nbytes = packet_bytes(kind, self.config.line_bytes, self.config.request_header_bytes)
         link = self._link_for(req.vault)
         arrival, flits = link.request.send(now, nbytes)
+        if self.tracer is not None:
+            self.tracer.link_tx(link.link_id, "req", nbytes, now, arrival)
         self.device.energy.charge_link_flits(flits)
         if req.is_write:
             self._c_writes.inc()
@@ -92,6 +96,8 @@ class HostController:
         nbytes = packet_bytes(kind, self.config.line_bytes, self.config.request_header_bytes)
         link = self._link_for(req.vault)
         arrival, flits = link.response.send(self.engine.now, nbytes)
+        if self.tracer is not None:
+            self.tracer.link_tx(link.link_id, "resp", nbytes, self.engine.now, arrival)
         self.device.energy.charge_link_flits(flits)
         self.engine.schedule_at(arrival, self._deliver, req)
 

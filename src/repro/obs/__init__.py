@@ -1,0 +1,54 @@
+"""Observability: structured tracing, hierarchical counters, exporters.
+
+The subsystem answers the per-event questions the end-of-run aggregates
+cannot: *why* was this row prefetched (utilization- or conflict-triggered),
+why did a conflict-prone row miss the Conflict Table, which resident row did
+CAMPS-MOD evict and with what utilization.  Attach a :class:`Tracer` to a
+:class:`~repro.system.System` and every decision point in the simulator
+records a typed event; afterwards export the stream as a Chrome trace
+(Perfetto / ``chrome://tracing``), JSONL, or a text summary.
+
+Usage::
+
+    from repro import mix, System, SystemConfig
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    system = System(mix("HM1", 3000), SystemConfig(scheme="camps-mod"),
+                    workload="HM1", tracer=tracer)
+    result = system.run()
+    write_chrome_trace(tracer, "out.json")
+    print(result.extra["trace_summary"]["prefetch_provenance"])
+
+When no tracer is attached every hook in the simulator is a no-op behind a
+single attribute check - see ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from repro.obs.counters import CounterRegistry, CounterScope
+from repro.obs.events import (
+    ALL_KINDS,
+    PROV_CONFLICT,
+    PROV_UTILIZATION,
+    TraceEvent,
+)
+from repro.obs.export import (
+    chrome_trace,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "CounterRegistry",
+    "CounterScope",
+    "ALL_KINDS",
+    "PROV_UTILIZATION",
+    "PROV_CONFLICT",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "text_summary",
+]

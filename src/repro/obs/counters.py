@@ -1,0 +1,110 @@
+"""Hierarchical counter registry: device → vault → bank.
+
+Components *register* their existing counters (or zero-cost gauge callables)
+into a :class:`CounterRegistry` at wiring time; nothing is read until a
+snapshot is requested, so registration adds no hot-path work.  The registry
+is how the exporters and the per-vault text summary see one coherent tree of
+statistics without every reporting site re-walking the object graph.
+
+Sources may be:
+
+* an object with a ``.value`` attribute (``repro.sim.stats.Counter``),
+* a zero-argument callable returning a number (a *gauge*),
+* a plain number (frozen at registration; rarely useful outside tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple, Union
+
+Source = Union[Callable[[], float], Any]
+Path = Tuple[str, ...]
+
+
+def _read(source: Source) -> float:
+    if callable(source):
+        return source()
+    value = getattr(source, "value", source)
+    return value
+
+
+class CounterScope:
+    """A named node in the registry tree; hands out child scopes."""
+
+    def __init__(self, registry: "CounterRegistry", path: Path) -> None:
+        self._registry = registry
+        self.path = path
+
+    def scope(self, name: str) -> "CounterScope":
+        return CounterScope(self._registry, self.path + (name,))
+
+    def register(self, name: str, source: Source) -> None:
+        """Attach a counter/gauge at this scope (read lazily at snapshot)."""
+        self._registry.register(self.path, name, source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterScope {'.'.join(self.path) or '(root)'}>"
+
+
+class CounterRegistry:
+    """Tree of named statistic sources, read lazily on snapshot."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[Path, Dict[str, Source]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def scope(self, *path: str) -> CounterScope:
+        """Get a scope handle, e.g. ``registry.scope("vault3", "bank7")``."""
+        return CounterScope(self, tuple(path))
+
+    def register(self, path: Path, name: str, source: Source) -> None:
+        if not name:
+            raise ValueError("counter name must be non-empty")
+        bucket = self._sources.setdefault(tuple(path), {})
+        if name in bucket:
+            raise ValueError(
+                f"duplicate counter {name!r} at scope {'.'.join(path) or '(root)'}"
+            )
+        bucket[name] = source
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._sources.values())
+
+    def items(self) -> Iterator[Tuple[Path, str, float]]:
+        """Yield ``(path, name, value)`` in sorted path order."""
+        for path in sorted(self._sources):
+            bucket = self._sources[path]
+            for name in bucket:
+                yield path, name, _read(bucket[name])
+
+    def flatten(self, sep: str = ".") -> Dict[str, float]:
+        """Flat ``"vault3.bank7.acts" -> value`` view of the whole tree."""
+        out: Dict[str, float] = {}
+        for path, name, value in self.items():
+            out[sep.join(path + (name,))] = value
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Nested-dict view: scopes become dicts, counters become values."""
+        root: Dict[str, Any] = {}
+        for path, name, value in self.items():
+            node = root
+            for part in path:
+                node = node.setdefault(part, {})
+            node[name] = value
+        return root
+
+    def scopes(self, prefix: str = "") -> List[str]:
+        """Dotted names of registered scopes, optionally prefix-filtered."""
+        names = sorted(".".join(p) for p in self._sources)
+        if prefix:
+            names = [n for n in names if n.startswith(prefix)]
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterRegistry scopes={len(self._sources)} counters={len(self)}>"

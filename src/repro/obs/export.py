@@ -1,0 +1,158 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, and a text summary.
+
+Chrome trace format
+    The emitted file loads directly in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.  Tracks map hardware structure: one *process* per
+    vault (plus one for device-level traffic such as link transfers), one
+    *thread* per bank, with thread 0 holding controller-level events (CT/RUT
+    updates, buffer decisions, scheduler state).  Timestamps are CPU cycles.
+    Events with a duration become complete ("X") slices; the rest are
+    instants.
+
+JSONL
+    One JSON object per line per event - the format for ad-hoc analysis
+    (``jq``, pandas) and for diffing two runs' decision streams.
+
+Text summary
+    A per-vault table of the hierarchical counter registry's headline
+    values, plus event-kind and provenance tallies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.tracer import Tracer
+
+#: pid used for device-level events (link traffic, engine spans)
+DEVICE_PID = 1000
+
+#: tid used for controller-level events inside a vault's process
+CONTROLLER_TID = 0
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Build the Chrome trace-event dict (``json.dump`` it yourself, or use
+    :func:`write_chrome_trace`)."""
+    trace_events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, str] = {}
+    seen_tids: set = set()
+
+    for e in tracer.events:
+        pid = e.vault if e.vault >= 0 else DEVICE_PID
+        tid = e.bank + 1 if e.bank >= 0 else CONTROLLER_TID
+        if pid not in seen_pids:
+            seen_pids[pid] = f"vault {pid}" if pid != DEVICE_PID else "device"
+        seen_tids.add((pid, tid))
+        record: Dict[str, Any] = {
+            "name": e.kind,
+            "cat": e.kind.split(".", 1)[0],
+            "pid": pid,
+            "tid": tid,
+            "ts": e.time,
+        }
+        if e.dur > 0:
+            record["ph"] = "X"
+            record["dur"] = e.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if e.args:
+            record["args"] = e.args
+        trace_events.append(record)
+
+    metadata: List[Dict[str, Any]] = []
+    for pid, name in sorted(seen_pids.items()):
+        metadata.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+    for pid, tid in sorted(seen_tids):
+        tname = "ctrl" if tid == CONTROLLER_TID else f"bank {tid - 1}"
+        if pid == DEVICE_PID:
+            tname = "links"
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            **tracer.meta,
+            "clock": "cpu-cycles",
+            "events_dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    p = Path(path)
+    with p.open("w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+    return p
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write one JSON object per event; returns the path written."""
+    p = Path(path)
+    with p.open("w") as fh:
+        for e in tracer.events:
+            fh.write(json.dumps(e.to_dict()))
+            fh.write("\n")
+    return p
+
+
+def text_summary(tracer: Tracer, max_vaults: int = 32) -> str:
+    """Human-readable digest: event tallies, provenance split, and the
+    busiest per-vault counters from the registry."""
+    lines: List[str] = []
+    meta = " ".join(f"{k}={v}" for k, v in tracer.meta.items())
+    lines.append(f"trace summary {meta}".rstrip())
+    lines.append(
+        f"  events recorded     {len(tracer.events)}"
+        + (f" (+{tracer.dropped} dropped)" if tracer.dropped else "")
+    )
+    counts = tracer.event_counts()
+    if counts:
+        width = max(len(k) for k in counts)
+        for kind, n in counts.items():
+            lines.append(f"    {kind:<{width}}  {n}")
+    prov = tracer.provenance_counts()
+    if prov:
+        lines.append("  prefetch provenance")
+        for tag, n in sorted(prov.items()):
+            lines.append(f"    {tag:<{max(len(t) for t in prov)}}  {n}")
+
+    snapshot = tracer.counters.snapshot()
+    vault_names = sorted(
+        (k for k in snapshot if k.startswith("vault")),
+        key=lambda k: int(k[5:]),
+    )[:max_vaults]
+    if vault_names:
+        # columns: the headline per-vault counters (skip per-bank subtrees)
+        cols = [
+            "demand_reads",
+            "demand_writes",
+            "buffer_hits",
+            "prefetches_issued",
+            "sched_row_hit_issues",
+            "tsv_busy_cycles",
+        ]
+        present = [c for c in cols if any(c in snapshot[v] for v in vault_names)]
+        header = "  " + f"{'vault':<8}" + "".join(f"{c:>22}" for c in present)
+        lines.append("  per-vault counters")
+        lines.append(header)
+        for v in vault_names:
+            row = snapshot[v]
+            cells = "".join(f"{row.get(c, 0):>22.0f}" for c in present)
+            lines.append("  " + f"{v:<8}" + cells)
+    return "\n".join(lines)

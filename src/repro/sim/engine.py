@@ -15,6 +15,7 @@ avoids attribute lookups accordingly.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -30,7 +31,17 @@ class Event:
     remain pending.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "weak", "_engine")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "fn",
+        "args",
+        "cancelled",
+        "fired",
+        "weak",
+        "_engine",
+    )
 
     def __init__(
         self,
@@ -48,15 +59,19 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
         self.weak = weak
         self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        if not self.cancelled:
+        """Prevent the event from firing.  Idempotent; cancelling an event
+        that already fired is a no-op (it is no longer in the heap)."""
+        if not self.cancelled and not self.fired:
             self.cancelled = True
-            if not self.weak and self._engine is not None:
-                self._engine._strong -= 1
+            if self._engine is not None:
+                self._engine._live -= 1
+                if not self.weak:
+                    self._engine._strong -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -87,8 +102,14 @@ class Engine:
         self._heap: List[Event] = []
         self._seq: int = 0
         self._strong: int = 0  # pending non-weak, non-cancelled events
+        self._live: int = 0  # pending non-cancelled events (weak included)
         self._events_fired: int = 0
         self._running = False
+        #: attached observability tracer (repro.obs.Tracer) or None; per-event
+        #: span recording only happens when the tracer asks for engine_spans
+        self.tracer = None
+        #: cumulative wall-clock time spent inside run() (seconds)
+        self.wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -130,6 +151,7 @@ class Engine:
         self._seq += 1
         ev = Event(int(time), priority, self._seq, fn, args, weak=weak, engine=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         if not weak:
             self._strong += 1
         return ev
@@ -146,6 +168,11 @@ class Engine:
         self._running = True
         fired = 0
         heap = self._heap
+        # Hoisted per-run: when no tracer wants spans, the loop pays one
+        # falsy check per event and nothing else.
+        tracer = self.tracer
+        spans = tracer is not None and tracer.engine_spans
+        t0 = perf_counter()
         try:
             while heap:
                 if until is None and self._strong == 0:
@@ -161,8 +188,12 @@ class Engine:
                     heapq.heappush(heap, ev)
                     break
                 self.now = ev.time
+                self._live -= 1
                 if not ev.weak:
                     self._strong -= 1
+                ev.fired = True
+                if spans:
+                    tracer.engine_fire(ev.time, ev.fn)
                 ev.fn(*ev.args)
                 fired += 1
             else:
@@ -170,6 +201,7 @@ class Engine:
                     self.now = until
         finally:
             self._running = False
+            self.wall_seconds += perf_counter() - t0
         self._events_fired += fired
         return fired
 
@@ -182,13 +214,24 @@ class Engine:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events in the heap.
+
+        Maintained as a live counter (push / cancel / fire), not a heap
+        scan: components poll this property while the heap holds thousands
+        of events, and the O(n) sweep showed up in profiles.
+        """
+        return self._live
 
     @property
     def events_fired(self) -> int:
         """Total events executed over the engine's lifetime."""
         return self._events_fired
+
+    @property
+    def events_per_sec(self) -> float:
+        """Lifetime engine throughput: events fired per wall-clock second
+        spent inside :meth:`run` (0.0 before the first run)."""
+        return self._events_fired / self.wall_seconds if self.wall_seconds else 0.0
 
     def peek_time(self) -> Optional[int]:
         """Cycle of the next live event, or None when drained."""

@@ -29,7 +29,14 @@ class Sampler:
         self._armed = False
 
     def probe(self, name: str, fn: Probe, nbins: int = 32, bin_width: int = 2) -> Histogram:
-        """Register a probe; returns the histogram its samples feed."""
+        """Register a probe; returns the histogram its samples feed.
+
+        Names must be unique (matching :meth:`Timeline.probe`): a duplicate
+        would silently shadow the first probe's histogram in
+        :meth:`histograms`, so it raises instead.
+        """
+        if any(name == existing for existing, _, _ in self._probes):
+            raise ValueError(f"duplicate probe {name!r}")
         hist = Histogram(name, nbins=nbins, bin_width=bin_width)
         self._probes.append((name, fn, hist))
         return hist

@@ -165,6 +165,7 @@ class System:
         config: Optional[SystemConfig] = None,
         workload: str = "custom",
         scheme_kwargs: Optional[Dict[str, Any]] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one core trace")
@@ -222,6 +223,12 @@ class System:
                 ),
             )
             self.sampler.probe("host_outstanding", lambda: self.host.outstanding)
+        #: observability tracer (repro.obs.Tracer); wiring installs it on the
+        #: engine, host, vaults, schedulers, prefetchers and banks, and
+        #: registers the component counters into its device→vault→bank tree
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.wire_system(self)
         self._ran = False
 
     def run(self, max_events: Optional[int] = None) -> SimulationResult:
@@ -301,6 +308,8 @@ class System:
             extra["mmd_final_degrees"] = [
                 vc.prefetcher.degree for vc in self.device.vaults
             ]
+        if self.tracer is not None:
+            extra["trace_summary"] = self.tracer.summary()
         return SimulationResult(
             scheme=self.config.scheme,
             workload=self.workload,
@@ -331,6 +340,7 @@ def run_system(
     use_caches: bool = False,
     core_params: Optional[CoreParams] = None,
     scheme_kwargs: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Any] = None,
 ) -> SimulationResult:
     """Build-and-run convenience wrapper (the main public entry point)."""
     cfg = SystemConfig(
@@ -339,4 +349,6 @@ def run_system(
         scheme=scheme,
         use_caches=use_caches,
     )
-    return System(traces, cfg, workload=workload, scheme_kwargs=scheme_kwargs).run()
+    return System(
+        traces, cfg, workload=workload, scheme_kwargs=scheme_kwargs, tracer=tracer
+    ).run()

@@ -87,6 +87,9 @@ class VaultController:
                 lines_per_row=config.lines_per_row,
                 policy=prefetcher.make_policy(),
             )
+        #: observability hook (repro.obs.Tracer); every use is guarded by a
+        #: single None check so an untraced run pays one attribute load
+        self.tracer = None
         self.stats = StatGroup(f"vault{vault_id}")
         self._c_reads = self.stats.counter("demand_reads")
         self._c_writes = self.stats.counter("demand_writes")
@@ -116,12 +119,22 @@ class VaultController:
         if self.buffer is not None:
             entry = self.buffer.lookup(req.bank, req.row, req.column, req.is_write)
             if entry is not None:
-                if entry.ready_time > now:
+                in_flight = entry.ready_time > now
+                if in_flight:
                     req.source = ServiceSource.ROW_IN_FLIGHT
                     self._c_buf_inflight.inc()
                 else:
                     req.source = ServiceSource.PREFETCH_BUFFER
                 self._c_buf_hits.inc()
+                if self.tracer is not None:
+                    self.tracer.prefetch_hit(
+                        self.vault_id,
+                        req.bank,
+                        req.row,
+                        entry.provenance,
+                        now,
+                        in_flight=in_flight,
+                    )
                 self.prefetcher.on_buffer_hit(
                     req.bank, req.row, req.column, req.is_write, now
                 )
@@ -220,6 +233,11 @@ class VaultController:
     def _execute_prefetch(self, action: PrefetchAction, now: int) -> None:
         if self.buffer is None:
             return
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.prefetch_issue(
+                self.vault_id, action.bank, action.row, action.provenance, now
+            )
         bank = self.banks[action.bank]
         full = (1 << self.config.lines_per_row) - 1
         if action.line_mask == full:
@@ -234,12 +252,45 @@ class VaultController:
         self._c_prefetch_rows.inc()
         self._c_prefetch_lines.inc(_popcount(action.line_mask))
         victim = self.buffer.insert(
-            action.bank, action.row, action.line_mask, result.finish, now
+            action.bank,
+            action.row,
+            action.line_mask,
+            result.finish,
+            now,
+            provenance=action.provenance,
         )
         if action.seed_ref_mask:
             entry = self.buffer.get(action.bank, action.row)
             if entry is not None:
                 entry.seed_ref(action.seed_ref_mask)
+        if tracer is not None:
+            tracer.prefetch_fill(
+                self.vault_id,
+                action.bank,
+                action.row,
+                action.provenance,
+                now,
+                result.finish,
+            )
+            if victim is not None:
+                tracer.buffer_replace(
+                    self.vault_id,
+                    action.bank,
+                    action.row,
+                    victim.bank,
+                    victim.row,
+                    self.buffer.policy.name,
+                    now,
+                )
+                tracer.prefetch_evict(
+                    self.vault_id,
+                    victim.bank,
+                    victim.row,
+                    victim.provenance,
+                    victim.was_used,
+                    victim.utilization,
+                    now,
+                )
         if victim is not None and victim.is_dirty:
             # Dirty prefetched rows are restored to their bank on eviction.
             self.banks[victim.bank].restore_row(victim.row, now)

@@ -42,15 +42,24 @@ class FRFCFSScheduler:
         self.row_hit_issues = 0
         self.fcfs_issues = 0
         self.drain_entries = 0
+        #: observability hook (repro.obs.Tracer); drain-mode transitions are
+        #: the scheduler's only traced events - issue decisions are visible
+        #: through the bank command stream already
+        self.tracer = None
+        self._vault_id = getattr(banks[0].bus, "vault_id", 0) if banks else 0
 
     # ------------------------------------------------------------------
-    def _update_drain_state(self) -> None:
+    def _update_drain_state(self, now: int = 0) -> None:
         pending_writes = len(self.queues.writes)
         if not self.draining and pending_writes >= self.write_high:
             self.draining = True
             self.drain_entries += 1
+            if self.tracer is not None:
+                self.tracer.sched_drain(self._vault_id, True, pending_writes, now)
         elif self.draining and pending_writes <= self.write_low:
             self.draining = False
+            if self.tracer is not None:
+                self.tracer.sched_drain(self._vault_id, False, pending_writes, now)
 
     def _pick(self, queue: Sequence[MemoryRequest], now: int) -> Optional[MemoryRequest]:
         """FR-FCFS over one queue: oldest ready row-hit, else oldest ready."""
@@ -68,7 +77,7 @@ class FRFCFSScheduler:
     def next_request(self, now: int) -> Optional[MemoryRequest]:
         """The request to issue at ``now``, already removed from its queue;
         None when nothing can issue."""
-        self._update_drain_state()
+        self._update_drain_state(now)
         q = self.queues
 
         order = (

@@ -126,6 +126,79 @@ class TestCancellation:
         ev.cancel()
         assert eng.peek_time() == 9
 
+    def test_cancel_after_fire_is_noop(self):
+        # Cancelling a handle whose event already ran must not corrupt the
+        # live/strong counters (it used to decrement _strong a second time).
+        eng = Engine()
+        ev = eng.schedule(1, lambda: None)
+        eng.schedule(2, lambda: None)
+        eng.run(until=1)
+        ev.cancel()
+        assert eng.pending == 1
+        assert eng.run() == 1
+
+
+class TestPendingCounter:
+    """`Engine.pending` is a live counter, not a heap scan - these pin the
+    bookkeeping through every path that mutates the heap."""
+
+    def test_pending_tracks_fires(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule(i + 1, lambda: None)
+        assert eng.pending == 4
+        eng.run(until=2)
+        assert eng.pending == 2
+        eng.run()
+        assert eng.pending == 0
+
+    def test_pending_counts_events_scheduled_during_run(self):
+        eng = Engine()
+        seen = []
+
+        def chain(n):
+            seen.append(eng.pending)  # observed mid-run, after this pop
+            if n < 3:
+                eng.schedule(1, chain, n + 1)
+
+        eng.schedule(1, chain, 0)
+        eng.run()
+        # at each fire the chain's own event has been consumed already
+        assert seen == [0, 0, 0, 0]
+        assert eng.pending == 0
+
+    def test_pending_with_max_events_pushback(self):
+        eng = Engine()
+        for i in range(5):
+            eng.schedule(i + 1, lambda: None)
+        eng.run(max_events=2)
+        assert eng.pending == 3
+
+    def test_pending_mixed_cancel_and_weak(self):
+        eng = Engine()
+        evs = [eng.schedule(i + 1, lambda: None) for i in range(3)]
+        eng.schedule(10, lambda: None, weak=True)
+        assert eng.pending == 4
+        evs[1].cancel()
+        assert eng.pending == 3
+        eng.run()
+        # the weak event alone does not keep the engine alive, so it is
+        # still pending (unfired) after the strong events drain
+        assert eng.pending == 1
+
+    def test_pending_constant_time(self):
+        # Guard against regressing to the O(n) heap scan: `pending` on a
+        # 50k-event heap must cost the same as on an empty one.
+        import timeit
+
+        eng = Engine()
+        for i in range(50_000):
+            eng.schedule(i + 1, lambda: None)
+        per_call = min(
+            timeit.repeat(lambda: eng.pending, number=2000, repeat=5)
+        ) / 2000
+        assert per_call < 5e-6  # a heap scan is ~milliseconds here
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):

@@ -29,6 +29,34 @@ class TestSparkline:
     def test_short_series_not_padded(self):
         assert len(sparkline([1, 2], width=64)) == 2
 
+    def test_width_boundary_no_pooling(self):
+        # exactly `width` samples must pass through unpooled
+        vals = list(range(8))
+        assert sparkline(vals, width=8) == "▁▂▃▄▅▆▇█"
+
+    def test_width_plus_one_pools(self):
+        # one sample over the width triggers mean-pooling down to `width`
+        s = sparkline(list(range(9)), width=8)
+        assert len(s) == 8
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_pooling_buckets_cover_all_samples(self):
+        # a single spike must survive pooling regardless of which bucket
+        # boundary it lands on (a lost sample would render flat)
+        for spike_at in range(10):
+            vals = [0.0] * 10
+            vals[spike_at] = 100.0
+            s = sparkline(vals, width=4)
+            assert len(s) == 4
+            assert "█" in s, f"spike at {spike_at} lost in pooling"
+
+    def test_zero_span_after_pooling(self):
+        # constant long series: pooled values are all equal -> min glyph
+        assert sparkline([3.0] * 100, width=10) == "▁" * 10
+
+    def test_single_value(self):
+        assert sparkline([42]) == "▁"
+
 
 class TestTimeline:
     def test_records_series(self):
@@ -79,6 +107,33 @@ class TestTimeline:
     def test_interval_validated(self):
         with pytest.raises(ValueError):
             Timeline(Engine(), interval=0)
+
+    def test_text_reports_min_mean_max(self):
+        eng = Engine()
+        tl = Timeline(eng, interval=10)
+        vals = iter([2.0, 4.0, 6.0, 8.0])
+        tl.probe("depth", lambda: next(vals))
+        tl.start()
+        # strong event past the last wanted tick keeps the weak ticks alive
+        eng.schedule(35, lambda: None)
+        eng.run()
+        text = tl.text()
+        assert "3 samples every 10 cycles (10..30)" in text
+        assert "min=2 mean=4.0 max=6" in text
+
+    def test_text_aligns_probe_names(self):
+        eng = Engine()
+        tl = Timeline(eng, interval=10)
+        tl.probe("a", lambda: 1.0)
+        tl.probe("longer_name", lambda: 2.0)
+        tl.start()
+        eng.schedule(10, lambda: None)
+        eng.run()
+        lines = tl.text().splitlines()
+        # sparklines of both rows start at the same column
+        col = len("longer_name") + 2
+        assert lines[1][:col].strip() == "a"
+        assert lines[2][:col].strip() == "longer_name"
 
 
 class TestExtendedProfiles:

@@ -66,6 +66,15 @@ class TestSampler:
         s.probe("b", lambda: 2)
         assert set(s.histograms()) == {"a", "b"}
 
+    def test_duplicate_probe_rejected(self):
+        # A duplicate name would silently shadow the first histogram in
+        # histograms(); match Timeline.probe and refuse it up front.
+        s = Sampler(Engine())
+        s.probe("depth", lambda: 1)
+        with pytest.raises(ValueError, match="duplicate probe"):
+            s.probe("depth", lambda: 2)
+        assert set(s.histograms()) == {"depth"}
+
 
 class TestWarmup:
     def test_warmup_reset_shrinks_counted_accesses(self, traces):
