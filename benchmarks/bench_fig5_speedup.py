@@ -2,6 +2,11 @@
 
 Paper headline: CAMPS-MOD outperforms BASE by 17.9% on average (HM 24.9%,
 LM 9.4%, MX 19.6%), BASE-HIT by 16.8%, and MMD by 8.7%.
+
+The grid behind this figure comes from the session-scoped ``paper_matrix``
+fixture; set ``REPRO_JOBS=4`` to shard it across a ``repro.campaign``
+worker pool (the merged matrix is deterministic, so the assertions below
+are scale- and parallelism-independent).
 """
 
 from conftest import emit

@@ -6,6 +6,8 @@ Scale knobs (environment):
 * ``REPRO_SEED``  - trace seed (default 1).
 * ``REPRO_MIXES`` - comma-separated subset of Table II mixes (default: all 12).
 * ``REPRO_CACHE`` - simulation summary cache path ("off" to disable).
+* ``REPRO_JOBS``  - worker processes for the shared grid (default 1 =
+  serial; >1 shards the grid through ``repro.campaign``).
 
 The five paper schemes over the selected mixes are simulated once per session
 (and cached on disk across sessions); every figure bench reads from that
@@ -48,10 +50,25 @@ def mixes():
     return selected_mixes()
 
 
+def selected_jobs():
+    raw = os.environ.get("REPRO_JOBS")
+    jobs = int(raw) if raw else 1
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {raw!r}")
+    return jobs
+
+
 @pytest.fixture(scope="session")
 def paper_matrix(experiment_config, mixes):
-    """The (mixes x 5 paper schemes) result grid every figure reads."""
-    return run_matrix(mixes, FIG5_SCHEMES, experiment_config, progress=True)
+    """The (mixes x 5 paper schemes) result grid every figure reads.
+
+    ``REPRO_JOBS>1`` shards the grid across a repro.campaign worker pool;
+    the merged matrix is deterministic, so every downstream figure bench
+    sees identical data either way.
+    """
+    return run_matrix(
+        mixes, FIG5_SCHEMES, experiment_config, progress=True, jobs=selected_jobs()
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,548 @@
+"""Sharded campaign execution across a multiprocessing worker pool.
+
+:func:`run_campaign` takes a list of :class:`~repro.campaign.spec.Cell`
+specs and drives them to terminal state:
+
+* **Sharding** — up to ``jobs`` persistent worker processes, each fed one
+  cell at a time over a pipe.  Workers are spawn-safe: the cell runner is a
+  picklable module-level callable, so the pool works under both the ``fork``
+  (default on Linux) and ``spawn`` start methods.
+* **Failure isolation** — a cell that raises, or a worker that dies, yields
+  a recorded ``error`` for that cell (and a respawned worker), never a dead
+  campaign.
+* **Timeout** — with ``jobs >= 2`` each attempt has a wall-clock budget;
+  an overrunning worker is terminated and the cell recorded as ``timeout``
+  (timeouts are terminal: a deterministic simulator that hung once will
+  hang again, so retrying only multiplies the loss).
+* **Retry** — crashed/raising attempts are retried up to ``retries`` times
+  with exponential backoff before the error becomes terminal.
+* **Resume** — with a :class:`~repro.campaign.manifest.Manifest` and
+  ``resume=True``, cells already recorded ``ok`` are not re-executed.
+* **Deterministic merge** — :meth:`CampaignResult.matrix` orders results by
+  cell id, so serial and parallel campaigns over the same cells produce
+  identical summaries regardless of completion order (pin with
+  :func:`matrix_digest`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.manifest import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellRecord,
+    Manifest,
+)
+from repro.campaign.progress import CampaignProgress
+from repro.campaign.spec import Cell
+from repro.experiments.runner import _CACHED_FIELDS, ResultCache
+from repro.metrics.collectors import ResultMatrix
+from repro.system import SimulationResult, System, SystemConfig
+
+#: a cell runner maps (cell, attempt) -> summary dict (the _CACHED_FIELDS
+#: projection); it must be a module-level callable so spawn can pickle it
+CellRunner = Callable[[Cell, int], dict]
+
+
+class CampaignError(RuntimeError):
+    """Raised by :meth:`CampaignResult.raise_on_failure`."""
+
+
+def summarize(result: SimulationResult) -> dict:
+    """Project a result onto the picklable persisted-summary fields."""
+    return {f: getattr(result, f) for f in _CACHED_FIELDS}
+
+
+def execute_cell(cell: Cell, attempt: int = 1) -> dict:
+    """Default cell runner: build the system, simulate, return the summary.
+
+    Runs in the worker process; trace generation is seeded, so regenerating
+    per cell yields byte-identical traces to the serial shared-trace loop.
+    """
+    from repro.workloads.mixes import mix as make_mix
+
+    cfg = cell.config
+    trace_hmc = cell.trace_config if cell.trace_config is not None else cfg.hmc
+    traces = make_mix(cell.workload, cfg.refs_per_core, seed=cfg.seed, config=trace_hmc)
+    result = System(
+        traces,
+        SystemConfig(hmc=cfg.hmc, scheme=cell.scheme),
+        workload=cell.workload,
+        scheme_kwargs=cell.scheme_kwargs,
+    ).run()
+    return summarize(result)
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Execution policy for one campaign."""
+
+    jobs: int = 1
+    timeout: Optional[float] = None  # per-attempt wall-clock seconds (jobs >= 2)
+    retries: int = 0
+    backoff: float = 0.1  # base retry delay; doubles per attempt
+    resume: bool = False
+    progress: bool = False
+    start_method: Optional[str] = None  # default: fork if available, else spawn
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """Terminal state of every cell plus campaign-level statistics."""
+
+    cells: List[Cell]  # deduplicated, submission order
+    records: Dict[str, CellRecord]  # by cell id
+    stats: Dict[str, int]
+    wall_seconds: float
+
+    @property
+    def failures(self) -> List[CellRecord]:
+        return [r for r in self.records.values() if not r.ok]
+
+    def raise_on_failure(self) -> None:
+        bad = self.failures
+        if bad:
+            detail = "; ".join(
+                f"{r.workload}/{r.scheme}: {r.status} ({r.error})" for r in bad[:5]
+            )
+            raise CampaignError(f"{len(bad)} cell(s) failed: {detail}")
+
+    def result_for(self, cell_id: str) -> SimulationResult:
+        rec = self.records[cell_id]
+        if not rec.ok:
+            raise CampaignError(
+                f"cell {rec.workload}/{rec.scheme} ended {rec.status}: {rec.error}"
+            )
+        return SimulationResult(
+            extra={"campaign": True, "cell_id": cell_id, "attempts": rec.attempts},
+            **rec.summary,
+        )
+
+    def matrix(self) -> ResultMatrix:
+        """Successful cells as a :class:`ResultMatrix`, ordered by cell id
+        (deterministic merge: independent of completion order)."""
+        out = ResultMatrix()
+        for cid in sorted(r.cell_id for r in self.records.values() if r.ok):
+            out.add(self.result_for(cid))
+        return out
+
+
+def matrix_digest(matrix: ResultMatrix) -> str:
+    """Canonical digest of a matrix's persisted summaries.
+
+    Serial and parallel campaigns over the same cells must agree on this
+    value — it hashes the `_CACHED_FIELDS` projection of every result in
+    sorted (workload, scheme) order, ignoring per-run ``extra`` annotations.
+    """
+    import hashlib
+    import json
+
+    items = []
+    for key in sorted(matrix.results):
+        r = matrix.results[key]
+        items.append({f: getattr(r, f) for f in _CACHED_FIELDS})
+    return hashlib.sha256(json.dumps(items, sort_keys=True).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker pool plumbing
+# ----------------------------------------------------------------------
+
+
+def _worker_loop(conn: Any, runner: CellRunner) -> None:
+    """Worker process body: run cells off the pipe until told to stop."""
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        cell, attempt = task
+        t0 = time.perf_counter()
+        try:
+            summary = runner(cell, attempt)
+            payload: Tuple[str, Any, float] = (
+                STATUS_OK,
+                summary,
+                time.perf_counter() - t0,
+            )
+        except Exception:
+            payload = (
+                STATUS_ERROR,
+                traceback.format_exc(limit=8),
+                time.perf_counter() - t0,
+            )
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class _Worker:
+    """One pool slot: a process, its pipe, and the task it is running."""
+
+    def __init__(self, ctx: Any, runner: CellRunner) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_worker_loop, args=(child_conn, runner), daemon=True
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.task: Optional[Tuple[Cell, int]] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def assign(self, cell: Cell, attempt: int, timeout: Optional[float]) -> None:
+        self.conn.send((cell, attempt))
+        self.task = (cell, attempt)
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+
+    def take_task(self) -> Tuple[Cell, int]:
+        task = self.task
+        assert task is not None
+        self.task = None
+        self.deadline = None
+        return task
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2)
+            if self.proc.is_alive():  # pragma: no cover - stubborn child
+                self.proc.kill()
+                self.proc.join(timeout=2)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def shutdown(self) -> None:
+        """Polite stop for an idle worker; escalates to kill."""
+        if self.proc.is_alive() and not self.busy:
+            try:
+                self.conn.send(None)
+                self.proc.join(timeout=2)
+            except (BrokenPipeError, OSError):
+                pass
+        self.kill()
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+
+
+class _Driver:
+    """Shared bookkeeping for the serial and pooled execution paths."""
+
+    def __init__(
+        self,
+        opts: CampaignOptions,
+        cache: Optional[ResultCache],
+        manifest: Optional[Manifest],
+        progress: CampaignProgress,
+    ) -> None:
+        self.opts = opts
+        self.cache = cache
+        self.manifest = manifest
+        self.progress = progress
+        self.records: Dict[str, CellRecord] = {}
+
+    def record(self, rec: CellRecord, source: str = "executed") -> None:
+        self.records[rec.cell_id] = rec
+        if source != "resumed" and self.manifest is not None:
+            self.manifest.append(rec)
+        if (
+            source == "executed"
+            and rec.ok
+            and self.cache is not None
+            and self._cacheable.get(rec.cell_id, False)
+        ):
+            self.cache.put(
+                self._cache_keys[rec.cell_id],
+                SimulationResult(extra={}, **rec.summary),
+            )
+        self.progress.cell_done(rec, source)
+
+    def prepare(self, cells: Sequence[Cell]) -> List[Cell]:
+        """Resolve resume/cache hits; return the cells needing execution."""
+        prior = (
+            self.manifest.records()
+            if (self.manifest is not None and self.opts.resume)
+            else {}
+        )
+        self._cacheable: Dict[str, bool] = {}
+        self._cache_keys: Dict[str, str] = {}
+        pending: List[Cell] = []
+        for cell in cells:
+            cid = cell.cell_id
+            self._cacheable[cid] = cell.cacheable
+            self._cache_keys[cid] = cell.config.cache_key(cell.workload, cell.scheme)
+            old = prior.get(cid)
+            if old is not None and old.ok:
+                self.record(old, source="resumed")
+                continue
+            if self.cache is not None and cell.cacheable:
+                hit = self.cache.get(self._cache_keys[cid])
+                if hit is not None:
+                    self.record(
+                        CellRecord(
+                            cell_id=cid,
+                            workload=cell.workload,
+                            scheme=cell.scheme,
+                            status=STATUS_OK,
+                            attempts=0,
+                            elapsed=0.0,
+                            summary=summarize(hit),
+                            cached=True,
+                        ),
+                        source="cached",
+                    )
+                    continue
+            pending.append(cell)
+        return pending
+
+    # ------------------------------------------------------------------
+    def run_serial(self, pending: Sequence[Cell], runner: CellRunner) -> None:
+        """In-process execution (jobs=1): today's serial path plus retry.
+
+        Per-attempt timeouts need a separate process to interrupt; with one
+        job the attempt runs inline and ``timeout`` is not enforced.
+        """
+        for cell in pending:
+            attempt = 1
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    summary = runner(cell, attempt)
+                    self.record(
+                        CellRecord(
+                            cell_id=cell.cell_id,
+                            workload=cell.workload,
+                            scheme=cell.scheme,
+                            status=STATUS_OK,
+                            attempts=attempt,
+                            elapsed=time.perf_counter() - t0,
+                            summary=summary,
+                        )
+                    )
+                    break
+                except Exception as exc:
+                    elapsed = time.perf_counter() - t0
+                    if attempt <= self.opts.retries:
+                        self.progress.retry(cell, attempt, f"{type(exc).__name__}: {exc}")
+                        time.sleep(self.opts.backoff * (2 ** (attempt - 1)))
+                        attempt += 1
+                        continue
+                    self.record(
+                        CellRecord(
+                            cell_id=cell.cell_id,
+                            workload=cell.workload,
+                            scheme=cell.scheme,
+                            status=STATUS_ERROR,
+                            attempts=attempt,
+                            elapsed=elapsed,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    def run_pool(self, pending: Sequence[Cell], runner: CellRunner) -> None:
+        """Pooled execution with per-attempt timeouts and worker respawn."""
+        opts = self.opts
+        ctx = multiprocessing.get_context(opts.start_method or _default_start_method())
+        tasks: deque = deque((cell, 1) for cell in pending)
+        retries: List[Tuple[float, int, Cell, int]] = []  # (due, tiebreak, cell, attempt)
+        tiebreak = 0
+        workers = [
+            _Worker(ctx, runner) for _ in range(min(opts.jobs, len(pending)))
+        ]
+        try:
+            while tasks or retries or any(w.busy for w in workers):
+                now = time.monotonic()
+                while retries and retries[0][0] <= now:
+                    _, _, cell, attempt = heapq.heappop(retries)
+                    tasks.append((cell, attempt))
+                # replace dead slots while work remains
+                for i, w in enumerate(workers):
+                    if not w.busy and not w.alive and (tasks or retries):
+                        w.kill()
+                        workers[i] = _Worker(ctx, runner)
+                for w in workers:
+                    if tasks and not w.busy and w.alive:
+                        cell, attempt = tasks.popleft()
+                        try:
+                            w.assign(cell, attempt, opts.timeout)
+                        except (BrokenPipeError, OSError):
+                            # worker died between polls: requeue, respawn next pass
+                            tasks.appendleft((cell, attempt))
+                busy = [w for w in workers if w.busy]
+                if not busy:
+                    if retries:
+                        time.sleep(min(0.05, max(0.0, retries[0][0] - now)))
+                    continue
+                wait_for = 0.5
+                deadlines = [w.deadline for w in busy if w.deadline is not None]
+                if deadlines:
+                    wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+                if retries:
+                    wait_for = min(wait_for, max(0.0, retries[0][0] - now))
+                ready = connection.wait([w.conn for w in busy], timeout=wait_for)
+                for w in busy:
+                    if w.conn in ready:
+                        cell, attempt = w.take_task()
+                        try:
+                            status, payload, elapsed = w.conn.recv()
+                        except (EOFError, OSError):
+                            status, payload, elapsed = (
+                                STATUS_ERROR,
+                                f"worker process died (exitcode "
+                                f"{w.proc.exitcode})",
+                                0.0,
+                            )
+                        if status == STATUS_OK:
+                            self.record(
+                                CellRecord(
+                                    cell_id=cell.cell_id,
+                                    workload=cell.workload,
+                                    scheme=cell.scheme,
+                                    status=STATUS_OK,
+                                    attempts=attempt,
+                                    elapsed=elapsed,
+                                    summary=payload,
+                                )
+                            )
+                        elif attempt <= opts.retries:
+                            self.progress.retry(cell, attempt, str(payload).strip().splitlines()[-1])
+                            tiebreak += 1
+                            heapq.heappush(
+                                retries,
+                                (
+                                    time.monotonic()
+                                    + opts.backoff * (2 ** (attempt - 1)),
+                                    tiebreak,
+                                    cell,
+                                    attempt + 1,
+                                ),
+                            )
+                        else:
+                            self.record(
+                                CellRecord(
+                                    cell_id=cell.cell_id,
+                                    workload=cell.workload,
+                                    scheme=cell.scheme,
+                                    status=STATUS_ERROR,
+                                    attempts=attempt,
+                                    elapsed=elapsed,
+                                    error=str(payload).strip(),
+                                )
+                            )
+                # enforce per-attempt deadlines on the still-busy workers
+                now = time.monotonic()
+                for w in workers:
+                    if w.busy and w.deadline is not None and now >= w.deadline:
+                        cell, attempt = w.take_task()
+                        w.kill()
+                        self.record(
+                            CellRecord(
+                                cell_id=cell.cell_id,
+                                workload=cell.workload,
+                                scheme=cell.scheme,
+                                status=STATUS_TIMEOUT,
+                                attempts=attempt,
+                                elapsed=float(opts.timeout or 0.0),
+                                error=f"cell exceeded {opts.timeout:g}s wall-clock",
+                            )
+                        )
+        finally:
+            for w in workers:
+                w.shutdown()
+
+
+def run_campaign(
+    cells: Sequence[Cell],
+    options: Optional[CampaignOptions] = None,
+    cache: Optional[ResultCache] = None,
+    manifest: Optional[Manifest] = None,
+    runner: CellRunner = execute_cell,
+) -> CampaignResult:
+    """Drive every cell to a terminal manifest record.
+
+    ``cells`` are deduplicated by cell id (first spec wins).  ``cache`` is
+    consulted before execution and updated (batched; flushed once at the
+    end) for cacheable cells; pass ``None`` to run uncached.  Without
+    ``resume`` an existing manifest file is rewritten fresh.
+    """
+    opts = options or CampaignOptions()
+    unique: Dict[str, Cell] = {}
+    for cell in cells:
+        unique.setdefault(cell.cell_id, cell)
+    ordered = list(unique.values())
+    if manifest is not None and not opts.resume:
+        manifest.reset()
+    progress = CampaignProgress(
+        total=len(ordered), jobs=opts.jobs, enabled=opts.progress
+    )
+    driver = _Driver(opts, cache, manifest, progress)
+    t0 = time.perf_counter()
+    pending = driver.prepare(ordered)
+    try:
+        if pending:
+            if opts.jobs == 1:
+                driver.run_serial(pending, runner)
+            else:
+                driver.run_pool(pending, runner)
+    finally:
+        if cache is not None:
+            cache.flush()
+    stats = {
+        "total": len(ordered),
+        "ok": progress.ok,
+        "failed": progress.failed,
+        "executed": progress._executed,
+        "cached": progress.cached,
+        "resumed": progress.resumed,
+        "retried": progress.retried,
+    }
+    return CampaignResult(
+        cells=ordered,
+        records=driver.records,
+        stats=stats,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,131 @@
+"""Resumable campaign manifests: one JSONL record per finished cell.
+
+The manifest is the campaign's durable progress log.  Every completed or
+failed cell appends exactly one line, flushed immediately, so a campaign
+killed mid-run can be re-invoked with ``resume=True`` and re-execute only
+the cells that never finished (or that finished with an error).
+
+File layout::
+
+    {"kind": "header", "version": 1}
+    {"cell_id": "...", "workload": "HM1", "scheme": "base", "status": "ok",
+     "attempts": 1, "elapsed": 1.93, "summary": {...}}
+    {"cell_id": "...", ..., "status": "timeout", "error": "..."}
+
+A header with an unknown version invalidates the whole file (it is rewritten
+fresh rather than mixing incompatible records); unreadable lines are skipped,
+so a record truncated by a crash costs one cell, not the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+MANIFEST_VERSION = 1
+
+#: terminal cell states recorded in the manifest
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class CellRecord:
+    """Terminal outcome of one cell (one manifest line)."""
+
+    cell_id: str
+    workload: str
+    scheme: str
+    status: str  # "ok" | "error" | "timeout"
+    attempts: int
+    elapsed: float
+    summary: Optional[dict] = None  # _CACHED_FIELDS projection when ok
+    error: Optional[str] = None
+    cached: bool = False  # satisfied from the ResultCache, not simulated
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class Manifest:
+    """Append-only JSONL progress log keyed by cell id."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self) -> Dict[str, CellRecord]:
+        """Parse the manifest; last record per cell wins.
+
+        Returns ``{}`` for a missing file, a version-incompatible file, or a
+        file with no parseable records.
+        """
+        if not self.path.exists():
+            return {}
+        out: Dict[str, CellRecord] = {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return {}
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write (crash mid-append): skip this cell
+            if not isinstance(raw, dict):
+                continue
+            if raw.get("kind") == "header":
+                if raw.get("version") != MANIFEST_VERSION:
+                    return {}  # incompatible manifest: treat as empty
+                continue
+            if i == 0:
+                return {}  # headerless file predates the manifest format
+            try:
+                rec = CellRecord(
+                    cell_id=raw["cell_id"],
+                    workload=raw["workload"],
+                    scheme=raw["scheme"],
+                    status=raw["status"],
+                    attempts=int(raw.get("attempts", 1)),
+                    elapsed=float(raw.get("elapsed", 0.0)),
+                    summary=raw.get("summary"),
+                    error=raw.get("error"),
+                    cached=bool(raw.get("cached", False)),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            out[rec.cell_id] = rec
+        return out
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Start a fresh manifest (header only), discarding old records."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as fh:
+            fh.write(
+                json.dumps({"kind": "header", "version": MANIFEST_VERSION}) + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append(self, record: CellRecord) -> None:
+        """Durably append one terminal cell record."""
+        if not self.path.exists():
+            self.reset()
+        payload = {k: v for k, v in asdict(record).items() if v is not None}
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(payload) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

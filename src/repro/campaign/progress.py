@@ -1,0 +1,105 @@
+"""Live campaign progress and ETA, built on the observability counters.
+
+The reporter owns a :class:`repro.obs.CounterRegistry` with one gauge per
+campaign statistic (done / ok / failed / cached / resumed / retried) under
+the ``campaign`` scope, so tools that already consume registry snapshots
+(exporters, tests) see campaign state through the same interface as
+simulator counters.  When ``enabled`` it also prints one line per finished
+cell with a wall-clock ETA extrapolated from the mean cell runtime divided
+by the worker count.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from repro.obs.counters import CounterRegistry
+
+
+def _fmt_duration(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    return f"{seconds // 60}m{seconds % 60:02d}s"
+
+
+class CampaignProgress:
+    """Counts cell outcomes; optionally narrates them with an ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int = 1,
+        enabled: bool = False,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.enabled = enabled
+        self.stream = stream or sys.stdout
+        self.done = 0
+        self.ok = 0
+        self.failed = 0
+        self.cached = 0
+        self.resumed = 0
+        self.retried = 0
+        self._executed = 0
+        self._elapsed_sum = 0.0
+        self._t0 = time.monotonic()
+        self.registry = CounterRegistry()
+        scope = self.registry.scope("campaign")
+        scope.register("total", lambda: self.total)
+        for name in ("done", "ok", "failed", "cached", "resumed", "retried"):
+            scope.register(name, (lambda n=name: getattr(self, n)))
+
+    # ------------------------------------------------------------------
+    def cell_done(self, record: Any, source: str = "executed") -> None:
+        """Count one terminal cell; ``source`` is executed/cached/resumed."""
+        self.done += 1
+        if record.ok:
+            self.ok += 1
+        else:
+            self.failed += 1
+        if source == "cached":
+            self.cached += 1
+        elif source == "resumed":
+            self.resumed += 1
+        else:
+            self._executed += 1
+            self._elapsed_sum += record.elapsed
+        if not self.enabled:
+            return
+        note = "" if source == "executed" else f" ({source})"
+        status = record.status if record.ok else record.status.upper()
+        line = (
+            f"  [{self.done}/{self.total}] {record.workload}/{record.scheme} "
+            f"{status}{note} {record.elapsed:.1f}s"
+        )
+        eta = self.eta_seconds()
+        if eta is not None and self.done < self.total:
+            line += f"  eta {_fmt_duration(eta)}"
+        print(line, file=self.stream, flush=True)
+
+    def retry(self, cell: Any, attempt: int, reason: str) -> None:
+        self.retried += 1
+        if self.enabled:
+            print(
+                f"  retrying {cell.describe()} (attempt {attempt} failed: "
+                f"{reason})",
+                file=self.stream,
+                flush=True,
+            )
+
+    # ------------------------------------------------------------------
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining wall-clock estimate; None until one cell has run."""
+        if self._executed == 0:
+            return None
+        mean = self._elapsed_sum / self._executed
+        remaining = self.total - self.done
+        return remaining * mean / self.jobs
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,94 @@
+"""Campaign cell specifications.
+
+A *campaign* is a set of independent simulation cells — (workload, scheme,
+config, seed) tuples — executed by :mod:`repro.campaign.executor` across a
+worker pool.  :class:`Cell` is the unit of work: everything a worker needs
+to rebuild the simulation in a fresh process, plus a deterministic
+``cell_id`` that names the cell in manifests, caches and merged results.
+
+The id reuses :meth:`repro.experiments.runner.ExperimentConfig.cache_key`
+(human-readable prefix) and appends a short digest over the *full* cell
+state — every ``HMCConfig`` field, any scheme constructor kwargs, and the
+trace-generation config — so two cells that differ only in a field the
+cache key does not cover still get distinct ids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.experiments.runner import ExperimentConfig
+from repro.hmc.config import HMCConfig
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-encodable canonical form of a cell attribute."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _digest(payload: Any) -> str:
+    text = json.dumps(_canonical(payload), sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent simulation: the campaign's unit of work.
+
+    ``scheme_kwargs`` are forwarded to the scheme constructor (as in
+    :class:`repro.system.System`); cells that carry them bypass the result
+    cache, whose key does not cover scheme parameters.  ``trace_config``
+    overrides the config used for *trace generation* only — sweeps generate
+    traces under the default platform so every sweep point sees the same
+    reference stream (matching :meth:`repro.experiments.sweep.Sweep.run`).
+    """
+
+    workload: str
+    scheme: str
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    scheme_kwargs: Optional[Dict[str, Any]] = None
+    trace_config: Optional[HMCConfig] = None
+
+    @property
+    def cell_id(self) -> str:
+        base = self.config.cache_key(self.workload, self.scheme)
+        token = _digest(
+            {
+                "hmc": self.config.hmc,
+                "scheme_kwargs": self.scheme_kwargs,
+                "trace_config": self.trace_config,
+            }
+        )
+        return f"{base}|{token}"
+
+    @property
+    def cacheable(self) -> bool:
+        """True when the shared :class:`ResultCache` key fully identifies
+        this cell (no scheme kwargs, no trace-config override)."""
+        return self.scheme_kwargs is None and self.trace_config is None
+
+    def describe(self) -> str:
+        return f"{self.workload}/{self.scheme}"
+
+
+def grid_cells(
+    workloads: Iterable[str],
+    schemes: Iterable[str],
+    config: Optional[ExperimentConfig] = None,
+) -> List[Cell]:
+    """The (workloads x schemes) grid as a flat cell list, in the same
+    (workload-major) order the serial :func:`run_matrix` loop uses."""
+    cfg = config or ExperimentConfig()
+    return [Cell(w, s, cfg) for w in workloads for s in schemes]

@@ -3,12 +3,13 @@
 Commands
 --------
 
-``run``     simulate one Table II mix under one scheme and print the summary
-``profile`` run one cell under cProfile; report events/sec and hot callbacks
-``figure``  regenerate one of the paper's figures (5-9) as a table/CSV
-``table``   print Table I (configuration) or Table II (workload mixes)
-``schemes`` list the registered prefetching schemes
-``trace``   generate a synthetic benchmark trace and print its statistics
+``run``      simulate one Table II mix under one scheme and print the summary
+``profile``  run one cell under cProfile; report events/sec and hot callbacks
+``figure``   regenerate one of the paper's figures (5-9) as a table/CSV
+``campaign`` run a (mixes x schemes) grid sharded across worker processes
+``table``    print Table I (configuration) or Table II (workload mixes)
+``schemes``  list the registered prefetching schemes
+``trace``    generate a synthetic benchmark trace and print its statistics
 
 Examples::
 
@@ -17,6 +18,8 @@ Examples::
     python -m repro run HM1 --refs 2000 --json
     python -m repro profile HM1 --refs 3000
     python -m repro figure 5 --mixes HM1,LM1 --refs 3000 --csv fig5.csv
+    python -m repro campaign --jobs 4 --refs 4000 --timeout 600 --retries 1
+    python -m repro campaign --resume --jobs 4   # pick up where it stopped
     python -m repro table 1
     python -m repro trace lbm --refs 10000
 """
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -220,6 +224,71 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_schemes(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return list(FIG5_SCHEMES)
+    names = [s.strip() for s in raw.split(",") if s.strip()]
+    unknown = [s for s in names if s not in scheme_names()]
+    if unknown:
+        raise SystemExit(f"unknown schemes: {', '.join(unknown)}")
+    return names
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Sharded grid run with manifest, timeouts, retry and resume."""
+    from repro.campaign import CampaignOptions, Manifest, grid_cells, run_campaign
+    from repro.experiments.runner import default_cache
+
+    mixes = _parse_mixes(args.mixes)
+    schemes = _parse_schemes(args.schemes)
+    cfg = _experiment_config(args)
+    cells = grid_cells(mixes, schemes, cfg)
+    if not args.quiet:
+        print(
+            f"campaign: {len(cells)} cells ({len(mixes)} mixes x "
+            f"{len(schemes)} schemes), {args.jobs} worker(s), "
+            f"{cfg.refs_per_core} refs/core, seed {cfg.seed}"
+        )
+    res = run_campaign(
+        cells,
+        CampaignOptions(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            progress=not args.quiet,
+        ),
+        cache=default_cache(),
+        manifest=Manifest(args.manifest),
+    )
+    st = res.stats
+    print(
+        f"campaign finished in {res.wall_seconds:.1f}s: "
+        f"{st['ok']}/{st['total']} ok "
+        f"({st['executed']} simulated, {st['cached']} cached, "
+        f"{st['resumed']} resumed, {st['retried']} retries), "
+        f"{st['failed']} failed"
+    )
+    print(f"manifest: {args.manifest}")
+    for rec in res.failures:
+        tail = (rec.error or "").strip().splitlines()
+        print(f"  FAILED {rec.workload}/{rec.scheme}: {rec.status}"
+              f" ({tail[-1] if tail else 'no detail'})")
+    if res.failures:
+        return 1
+    if not args.quiet:
+        matrix = res.matrix()
+        print()
+        print(f"{'workload':<10}" + "".join(f"{s:>12}" for s in schemes))
+        for w in mixes:
+            cells_txt = "".join(
+                f"{matrix.get(w, s).geomean_ipc:>12.3f}" for s in schemes
+            )
+            print(f"{w:<10}{cells_txt}")
+        print("(geomean IPC per cell)")
+    return 0
+
+
 def cmd_table(args: argparse.Namespace) -> int:
     if args.number == "1":
         print(table1_text())
@@ -394,6 +463,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render a terminal bar chart of the summary")
     p_fig.add_argument("--quiet", action="store_true")
     p_fig.set_defaults(fn=cmd_figure)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a (mixes x schemes) grid sharded across worker processes",
+    )
+    p_camp.add_argument("--mixes", help="comma-separated subset (default: all 12)")
+    p_camp.add_argument(
+        "--schemes",
+        help="comma-separated schemes (default: the 5 paper schemes)",
+    )
+    p_camp.add_argument("--refs", type=int, default=4000)
+    p_camp.add_argument("--seed", type=int, default=1)
+    p_camp.add_argument(
+        "--jobs", type=int, default=max(1, os.cpu_count() or 1),
+        help="worker processes (default: CPU count)",
+    )
+    p_camp.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds (needs --jobs >= 2)",
+    )
+    p_camp.add_argument(
+        "--retries", type=int, default=0,
+        help="retry crashed/raising cells this many times",
+    )
+    p_camp.add_argument(
+        "--manifest", default=".repro_campaign.jsonl",
+        help="JSONL progress log (one record per finished cell)",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="skip cells the manifest already records as ok",
+    )
+    p_camp.add_argument("--quiet", action="store_true")
+    p_camp.set_defaults(fn=cmd_campaign)
 
     p_tab = sub.add_parser("table", help="print Table I or II")
     p_tab.add_argument("number", choices=["1", "2"])

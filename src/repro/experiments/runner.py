@@ -70,7 +70,11 @@ class ExperimentConfig:
         return ":".join(str(p) for p in parts)
 
 
-# Summary fields persisted to (and restored from) the cache.
+# Summary fields persisted to (and restored from) the cache.  Bump
+# _CACHE_SCHEMA whenever this list (or the meaning of a field) changes so
+# stale cache files are invalidated wholesale instead of raising KeyError.
+_CACHE_SCHEMA = 2
+
 _CACHED_FIELDS = [
     "scheme",
     "workload",
@@ -93,18 +97,44 @@ _CACHED_FIELDS = [
 
 
 class ResultCache:
-    """Tiny JSON file cache of simulation summaries."""
+    """JSON file cache of simulation summaries, safe for concurrent writers.
+
+    Persistence is crash- and concurrency-safe: :meth:`flush` re-reads the
+    file, merges this process's entries over whatever other workers wrote in
+    the meantime, then atomically replaces the file via a temp file and
+    ``os.replace`` — a killed or concurrent writer can never leave a torn or
+    clobbered cache.  :meth:`put` only updates memory; callers batch any
+    number of puts behind one :meth:`flush` (``run_cell`` flushes per cell,
+    ``run_matrix`` and campaigns flush once per run, so a full matrix is not
+    O(cells^2) in rewrite cost).
+
+    The file records a schema version and the persisted field list; caches
+    written before a ``_CACHED_FIELDS`` change (or in the pre-schema flat
+    format) are invalidated on load instead of raising ``KeyError``.
+    """
 
     def __init__(self, path: Optional[Path] = None) -> None:
         raw = os.environ.get("REPRO_CACHE", ".repro_cache.json")
         self.enabled = raw.lower() != "off"
         self.path = path or Path(raw if self.enabled else ".repro_cache.json")
-        self._data: Dict[str, dict] = {}
-        if self.enabled and self.path.exists():
-            try:
-                self._data = json.loads(self.path.read_text())
-            except (json.JSONDecodeError, OSError):
-                self._data = {}
+        self._dirty = False
+        self._data: Dict[str, dict] = (
+            self._read_file(self.path) if self.enabled else {}
+        )
+
+    @staticmethod
+    def _read_file(path: Path) -> Dict[str, dict]:
+        """Entries from a cache file; {} for missing/corrupt/legacy files."""
+        try:
+            raw = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        if raw.get("schema") != _CACHE_SCHEMA or raw.get("fields") != _CACHED_FIELDS:
+            return {}  # legacy or foreign schema: invalidate wholesale
+        entries = raw.get("entries")
+        return entries if isinstance(entries, dict) else {}
 
     def get(self, key: str) -> Optional[SimulationResult]:
         if not self.enabled:
@@ -112,16 +142,42 @@ class ResultCache:
         raw = self._data.get(key)
         if raw is None:
             return None
-        return SimulationResult(extra={"cached": True}, **{f: raw[f] for f in _CACHED_FIELDS})
+        try:
+            return SimulationResult(
+                extra={"cached": True}, **{f: raw[f] for f in _CACHED_FIELDS}
+            )
+        except (KeyError, TypeError):
+            return None  # malformed entry: treat as a miss
 
     def put(self, key: str, result: SimulationResult) -> None:
+        """Record a summary in memory; persist on the next :meth:`flush`."""
         if not self.enabled:
             return
         self._data[key] = {f: getattr(result, f) for f in _CACHED_FIELDS}
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Merge-on-write persist: atomic, last-flusher-wins per entry."""
+        if not (self.enabled and self._dirty):
+            return
+        merged = self._read_file(self.path)
+        merged.update(self._data)
+        self._data = merged
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "fields": _CACHED_FIELDS,
+            "entries": merged,
+        }
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
         try:
-            self.path.write_text(json.dumps(self._data))
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, self.path)
         except OSError:
-            pass  # caching is best-effort
+            try:  # caching is best-effort
+                tmp.unlink()
+            except OSError:
+                pass
+        self._dirty = False
 
 
 _default_cache: Optional[ResultCache] = None
@@ -140,8 +196,13 @@ def run_cell(
     config: Optional[ExperimentConfig] = None,
     traces=None,
     cache: Optional[ResultCache] = None,
+    flush: bool = True,
 ) -> SimulationResult:
-    """Run one (mix, scheme) simulation, consulting the cache first."""
+    """Run one (mix, scheme) simulation, consulting the cache first.
+
+    ``flush=False`` defers cache persistence to the caller (batch loops
+    flush once at the end instead of rewriting the file per cell).
+    """
     cfg = config or ExperimentConfig()
     c = cache if cache is not None else default_cache()
     key = cfg.cache_key(workload, scheme)
@@ -154,6 +215,8 @@ def run_cell(
         traces, SystemConfig(hmc=cfg.hmc, scheme=scheme), workload=workload
     ).run()
     c.put(key, result)
+    if flush:
+        c.flush()
     return result
 
 
@@ -163,18 +226,52 @@ def run_matrix(
     config: Optional[ExperimentConfig] = None,
     cache: Optional[ResultCache] = None,
     progress: bool = False,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    manifest=None,
 ) -> ResultMatrix:
-    """Run the full (mixes x schemes) grid, sharing traces per mix."""
+    """Run the full (mixes x schemes) grid, sharing traces per mix.
+
+    ``jobs=1`` (the default) runs serially in-process as always; ``jobs>1``
+    shards the grid across a :mod:`repro.campaign` worker pool (with
+    optional per-cell ``timeout``, ``retries`` and a resumable ``manifest``)
+    and merges deterministically, so both paths produce identical summaries.
+    """
     cfg = config or ExperimentConfig()
+    c = cache if cache is not None else default_cache()
     matrix = ResultMatrix()
+    workload_list = list(workloads)
     scheme_list = list(schemes)
-    for w in workloads:
-        traces = None
-        for s in scheme_list:
-            c = cache if cache is not None else default_cache()
-            if c.get(cfg.cache_key(w, s)) is None and traces is None:
-                traces = make_mix(w, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
-            if progress:  # pragma: no cover - cosmetic
-                print(f"  running {w} / {s} ...", flush=True)
-            matrix.add(run_cell(w, s, cfg, traces=traces, cache=cache))
+    if jobs > 1:
+        # Deferred import: repro.campaign imports this module.
+        from repro.campaign import Cell, CampaignOptions, grid_cells, run_campaign
+
+        res = run_campaign(
+            grid_cells(workload_list, scheme_list, cfg),
+            CampaignOptions(
+                jobs=jobs, timeout=timeout, retries=retries, progress=progress
+            ),
+            cache=c,
+            manifest=manifest,
+        )
+        res.raise_on_failure()
+        # Same insertion order as the serial loop -> identical matrices.
+        for w in workload_list:
+            for s in scheme_list:
+                matrix.add(res.result_for(Cell(w, s, cfg).cell_id))
+        return matrix
+    try:
+        for w in workload_list:
+            traces = None
+            for s in scheme_list:
+                if c.get(cfg.cache_key(w, s)) is None and traces is None:
+                    traces = make_mix(
+                        w, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc
+                    )
+                if progress:  # pragma: no cover - cosmetic
+                    print(f"  running {w} / {s} ...", flush=True)
+                matrix.add(run_cell(w, s, cfg, traces=traces, cache=c, flush=False))
+    finally:
+        c.flush()
     return matrix

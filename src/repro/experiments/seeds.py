@@ -98,20 +98,50 @@ def run_seeded(
     base_config: Optional[ExperimentConfig] = None,
     seeds: Sequence[int] = (1, 2, 3),
     cache: Optional[ResultCache] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> SeededSpeedups:
-    """Run the grid once per seed and aggregate Figure-5 speedups."""
+    """Run the grid once per seed and aggregate Figure-5 speedups.
+
+    With ``jobs>1`` all (seed x workload x scheme) cells form *one*
+    campaign, so parallelism spans seeds as well as the grid.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
     cfg0 = base_config or ExperimentConfig()
     workloads = list(workloads)
     schemes = list(schemes)
     per_seed: List[Dict[str, Dict[str, float]]] = []
-    for seed in seeds:
-        cfg = dataclasses.replace(cfg0, seed=seed)
-        matrix = run_matrix(workloads, schemes, cfg, cache=cache)
-        per_seed.append(
-            normalized_speedups(matrix, schemes, workloads=workloads)
+    seed_configs = [dataclasses.replace(cfg0, seed=seed) for seed in seeds]
+    if jobs > 1:
+        from repro.campaign import Cell, CampaignOptions, grid_cells, run_campaign
+        from repro.experiments.runner import default_cache
+        from repro.metrics.collectors import ResultMatrix
+
+        cells = [
+            c for cfg in seed_configs for c in grid_cells(workloads, schemes, cfg)
+        ]
+        res = run_campaign(
+            cells,
+            CampaignOptions(jobs=jobs, timeout=timeout, retries=retries),
+            cache=cache if cache is not None else default_cache(),
         )
+        res.raise_on_failure()
+        for cfg in seed_configs:
+            matrix = ResultMatrix()
+            for w in workloads:
+                for s in schemes:
+                    matrix.add(res.result_for(Cell(w, s, cfg).cell_id))
+            per_seed.append(
+                normalized_speedups(matrix, schemes, workloads=workloads)
+            )
+    else:
+        for cfg in seed_configs:
+            matrix = run_matrix(workloads, schemes, cfg, cache=cache)
+            per_seed.append(
+                normalized_speedups(matrix, schemes, workloads=workloads)
+            )
     per_workload: Dict[str, Dict[str, SeededCell]] = {}
     for w in workloads:
         per_workload[w] = {}

@@ -114,9 +114,22 @@ class Sweep:
         refs_per_core: int = 2500,
         seed: int = 1,
         baseline_scheme: Optional[str] = "base",
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
     ) -> SweepResult:
         """Run the sweep; the workload's traces are generated once (under
-        the default config) and shared by every point and the baseline."""
+        the default config) and shared by every point and the baseline.
+
+        With ``jobs>1`` the points (and their baselines) run as one
+        :mod:`repro.campaign` — workers regenerate the same seeded traces,
+        so results match the serial path.
+        """
+        if jobs > 1:
+            return self._run_campaign(
+                workload, scheme, refs_per_core, seed, baseline_scheme,
+                jobs, timeout, retries,
+            )
         traces = make_mix(workload, refs_per_core, seed=seed)
         out = SweepResult(self.knob, workload, scheme)
         for value in self.values:
@@ -135,5 +148,57 @@ class Sweep:
                     workload=workload,
                 ).run()
                 speedup = result.speedup_vs(base)
+            out.points.append(SweepPoint(value, result, speedup))
+        return out
+
+    def _run_campaign(
+        self,
+        workload: str,
+        scheme: str,
+        refs_per_core: int,
+        seed: int,
+        baseline_scheme: Optional[str],
+        jobs: int,
+        timeout: Optional[float],
+        retries: int,
+    ) -> SweepResult:
+        """Sharded sweep: every point (and baseline) is one campaign cell.
+
+        Sweep cells bypass the result cache — its key does not cover most
+        swept knobs — and pin ``trace_config`` to the default platform so
+        every point sees the same reference stream as the serial path.
+        Identical baseline cells (scheme-kwarg sweeps) dedupe to one run.
+        """
+        from repro.campaign import Cell, CampaignOptions, run_campaign
+        from repro.experiments.runner import ExperimentConfig
+
+        trace_hmc = HMCConfig()
+        pairs = []  # (value, point cell, baseline cell | None)
+        for value in self.values:
+            hmc, scheme_kwargs = self._configure(value)
+            cfg = ExperimentConfig(refs_per_core=refs_per_core, seed=seed, hmc=hmc)
+            point = Cell(
+                workload, scheme, cfg,
+                scheme_kwargs=scheme_kwargs, trace_config=trace_hmc,
+            )
+            base = (
+                Cell(workload, baseline_scheme, cfg, trace_config=trace_hmc)
+                if baseline_scheme
+                else None
+            )
+            pairs.append((value, point, base))
+        cells = [c for _, p, b in pairs for c in ((p, b) if b else (p,))]
+        res = run_campaign(
+            cells,
+            CampaignOptions(jobs=jobs, timeout=timeout, retries=retries),
+            cache=None,
+        )
+        res.raise_on_failure()
+        out = SweepResult(self.knob, workload, scheme)
+        for value, point, base in pairs:
+            result = res.result_for(point.cell_id)
+            speedup = (
+                result.speedup_vs(res.result_for(base.cell_id)) if base else None
+            )
             out.points.append(SweepPoint(value, result, speedup))
         return out
