@@ -76,7 +76,7 @@ def execute_cell(cell: Cell, attempt: int = 1) -> dict:
     traces = make_mix(cell.workload, cfg.refs_per_core, seed=cfg.seed, config=trace_hmc)
     result = System(
         traces,
-        SystemConfig(hmc=cfg.hmc, scheme=cell.scheme),
+        SystemConfig(hmc=cfg.hmc, scheme=cell.scheme, integrity=cfg.integrity),
         workload=cell.workload,
         scheme_kwargs=cell.scheme_kwargs,
     ).run()
@@ -120,9 +120,17 @@ class CampaignResult:
     def raise_on_failure(self) -> None:
         bad = self.failures
         if bad:
-            detail = "; ".join(
-                f"{r.workload}/{r.scheme}: {r.status} ({r.error})" for r in bad[:5]
-            )
+            parts = []
+            for r in bad[:5]:
+                desc = f"{r.workload}/{r.scheme}: {r.status} ({r.error})"
+                if r.diagnosis:
+                    reason = r.diagnosis.get("reason", "integrity")
+                    dump = r.diagnosis.get("crash_dump")
+                    desc += f" [diagnosed: {reason}" + (
+                        f", dump: {dump}]" if dump else "]"
+                    )
+                parts.append(desc)
+            detail = "; ".join(parts)
             raise CampaignError(f"{len(bad)} cell(s) failed: {detail}")
 
     def result_for(self, cell_id: str) -> SimulationResult:
@@ -185,10 +193,17 @@ def _worker_loop(conn: Any, runner: CellRunner) -> None:
                 summary,
                 time.perf_counter() - t0,
             )
-        except Exception:
+        except Exception as exc:
+            error: Any = traceback.format_exc(limit=8)
+            # Integrity failures carry a structured diagnosis (and have
+            # already written their crash dump in this process); ship it
+            # across the pipe so the manifest records it.
+            diagnosis = getattr(exc, "report", None)
+            if isinstance(diagnosis, dict) and diagnosis:
+                error = {"error": error, "diagnosis": diagnosis}
             payload = (
                 STATUS_ERROR,
-                traceback.format_exc(limit=8),
+                error,
                 time.perf_counter() - t0,
             )
         try:
@@ -314,7 +329,11 @@ class _Driver:
             self._cacheable[cid] = cell.cacheable
             self._cache_keys[cid] = cell.config.cache_key(cell.workload, cell.scheme)
             old = prior.get(cid)
-            if old is not None and old.ok:
+            # Resume skips completed cells AND diagnosed failures: a cell
+            # the integrity layer convicted (wedge, invariant violation) is
+            # deterministic, so re-running it would reproduce the failure.
+            # Undiagnosed errors/timeouts stay eligible for re-execution.
+            if old is not None and (old.ok or old.diagnosis is not None):
                 self.record(old, source="resumed")
                 continue
             if self.cache is not None and cell.cacheable:
@@ -364,7 +383,13 @@ class _Driver:
                     break
                 except Exception as exc:
                     elapsed = time.perf_counter() - t0
-                    if attempt <= self.opts.retries:
+                    diagnosis = getattr(exc, "report", None)
+                    if not (isinstance(diagnosis, dict) and diagnosis):
+                        diagnosis = None
+                    # A diagnosed integrity failure is deterministic - the
+                    # same wedge or violation will recur - so retrying only
+                    # multiplies the loss.  Record it terminal immediately.
+                    if diagnosis is None and attempt <= self.opts.retries:
                         self.progress.retry(cell, attempt, f"{type(exc).__name__}: {exc}")
                         time.sleep(self.opts.backoff * (2 ** (attempt - 1)))
                         attempt += 1
@@ -378,6 +403,7 @@ class _Driver:
                             attempts=attempt,
                             elapsed=elapsed,
                             error=f"{type(exc).__name__}: {exc}",
+                            diagnosis=diagnosis,
                         )
                     )
                     break
@@ -448,8 +474,20 @@ class _Driver:
                                     summary=payload,
                                 )
                             )
-                        elif attempt <= opts.retries:
-                            self.progress.retry(cell, attempt, str(payload).strip().splitlines()[-1])
+                            continue
+                        # Error payloads are a plain traceback string, or a
+                        # {"error", "diagnosis"} dict from the integrity
+                        # layer.  Diagnosed failures are deterministic and
+                        # recorded terminal without burning retries.
+                        diagnosis = None
+                        error_text = payload
+                        if isinstance(payload, dict):
+                            diagnosis = payload.get("diagnosis")
+                            error_text = payload.get("error", "")
+                        if diagnosis is None and attempt <= opts.retries:
+                            self.progress.retry(
+                                cell, attempt, str(error_text).strip().splitlines()[-1]
+                            )
                             tiebreak += 1
                             heapq.heappush(
                                 retries,
@@ -470,7 +508,8 @@ class _Driver:
                                     status=STATUS_ERROR,
                                     attempts=attempt,
                                     elapsed=elapsed,
-                                    error=str(payload).strip(),
+                                    error=str(error_text).strip(),
+                                    diagnosis=diagnosis,
                                 )
                             )
                 # enforce per-attempt deadlines on the still-busy workers

@@ -46,6 +46,10 @@ class CellRecord:
     summary: Optional[dict] = None  # _CACHED_FIELDS projection when ok
     error: Optional[str] = None
     cached: bool = False  # satisfied from the ResultCache, not simulated
+    #: structured diagnosis from the integrity layer (repro.sim.integrity):
+    #: reason, stuck component, violations, crash-dump path.  A diagnosed
+    #: error is deterministic - resume skips the cell instead of retrying it.
+    diagnosis: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -101,6 +105,7 @@ class Manifest:
                     summary=raw.get("summary"),
                     error=raw.get("error"),
                     cached=bool(raw.get("cached", False)),
+                    diagnosis=raw.get("diagnosis"),
                 )
             except (KeyError, TypeError, ValueError):
                 continue

@@ -77,6 +77,9 @@ class CampaignProgress:
             f"  [{self.done}/{self.total}] {record.workload}/{record.scheme} "
             f"{status}{note} {record.elapsed:.1f}s"
         )
+        diagnosis = getattr(record, "diagnosis", None)
+        if diagnosis:
+            line += f"  [{diagnosis.get('reason', 'integrity')}]"
         eta = self.eta_seconds()
         if eta is not None and self.done < self.total:
             line += f"  eta {_fmt_duration(eta)}"

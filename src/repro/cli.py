@@ -46,6 +46,8 @@ from repro.experiments.figures import (
 )
 from repro.experiments.runner import ExperimentConfig, run_cell, run_matrix
 from repro.experiments.tables import table1_text, table2_text
+from repro.faults import LinkFaultConfig
+from repro.hmc.config import HMCConfig
 from repro.metrics.report import write_csv
 from repro.workloads.mixes import mix as make_mix, mix_names
 from repro.workloads.spec import PROFILES
@@ -72,7 +74,21 @@ def _parse_mixes(raw: Optional[str]) -> List[str]:
 
 
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(refs_per_core=args.refs, seed=args.seed)
+    hmc = HMCConfig()
+    ber = getattr(args, "ber", 0.0) or 0.0
+    drop = getattr(args, "drop", 0.0) or 0.0
+    if ber or drop:
+        hmc = hmc.with_overrides(
+            faults=LinkFaultConfig(
+                ber=ber, drop_prob=drop, seed=getattr(args, "fault_seed", 0)
+            )
+        )
+    return ExperimentConfig(
+        refs_per_core=args.refs,
+        seed=args.seed,
+        hmc=hmc,
+        integrity=bool(getattr(args, "integrity", False)),
+    )
 
 
 def _result_json(result, cfg) -> str:
@@ -96,6 +112,8 @@ def _result_json(result, cfg) -> str:
         "energy_pj": result.energy_pj,
         "link_utilization": result.link_utilization,
     }
+    if "link_faults" in result.extra:
+        payload["link_faults"] = result.extra["link_faults"]
     if "trace_summary" in result.extra:
         payload["trace_summary"] = result.extra["trace_summary"]
     return json.dumps(payload)
@@ -122,7 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         traces = make_mix(args.mix, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
         result = System(
             traces,
-            SystemConfig(hmc=cfg.hmc, scheme=args.scheme),
+            SystemConfig(hmc=cfg.hmc, scheme=args.scheme, integrity=cfg.integrity),
             workload=args.mix,
             tracer=tracer,
         ).run()
@@ -417,6 +435,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_robustness_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection and integrity flags shared by run/campaign."""
+    parser.add_argument(
+        "--ber", type=float, default=0.0, metavar="P",
+        help="link bit-error rate (e.g. 1e-6); enables fault injection",
+    )
+    parser.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="link packet-drop probability; enables fault injection",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, dest="fault_seed",
+        help="base seed for the fault-injection RNG streams",
+    )
+    parser.add_argument(
+        "--integrity", action="store_true",
+        help="enable the integrity layer (watchdog, invariants, crash dumps)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write every trace event as one JSON object per line")
     p_run.add_argument("--json", action="store_true",
                        help="print a one-line machine-readable JSON summary")
+    _add_robustness_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_prof = sub.add_parser(
@@ -495,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip cells the manifest already records as ok",
     )
+    _add_robustness_args(p_camp)
     p_camp.add_argument("--quiet", action="store_true")
     p_camp.set_defaults(fn=cmd_campaign)
 

@@ -48,6 +48,10 @@ class ExperimentConfig:
     refs_per_core: int = field(default_factory=lambda: _env_int("REPRO_REFS", 4000))
     seed: int = field(default_factory=lambda: _env_int("REPRO_SEED", 1))
     hmc: HMCConfig = field(default_factory=HMCConfig)
+    #: run cells under the integrity layer (repro.sim.integrity).  Execution
+    #: policy, not a simulation input: results are identical with it on, so
+    #: it never enters cache keys or cell ids.
+    integrity: bool = False
 
     def cache_key(self, workload: str, scheme: str) -> str:
         t = self.hmc.timings
@@ -67,7 +71,17 @@ class ExperimentConfig:
             t.tburst,
             t.trow_tsv,
         )
-        return ":".join(str(p) for p in parts)
+        key = ":".join(str(p) for p in parts)
+        # Fault injection changes results, so it must key the cache - but
+        # only when enabled, keeping fault-free keys (and every existing
+        # cache entry) byte-identical to the pre-fault layout.
+        f = self.hmc.faults
+        if f.enabled:
+            key += (
+                f":faults=ber{f.ber}:drop{f.drop_prob}:fseed{f.seed}"
+                f":mr{f.max_retries}:rl{f.retry_latency}:tl{f.retrain_latency}"
+            )
+        return key
 
 
 # Summary fields persisted to (and restored from) the cache.  Bump
@@ -212,7 +226,9 @@ def run_cell(
     if traces is None:
         traces = make_mix(workload, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
     result = System(
-        traces, SystemConfig(hmc=cfg.hmc, scheme=scheme), workload=workload
+        traces,
+        SystemConfig(hmc=cfg.hmc, scheme=scheme, integrity=cfg.integrity),
+        workload=workload,
     ).run()
     c.put(key, result)
     if flush:

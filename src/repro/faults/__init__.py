@@ -1,0 +1,39 @@
+"""Link fault injection: seeded, deterministic degradation of the serial links.
+
+The CAMPS paper models the HMC's external links as ideal; the HMC 2.1
+transaction layer they abstract specifies CRC-protected flits, a per-link
+retry buffer, and a link-retraining escape hatch.  This package supplies
+that error behavior as an opt-in layer on :class:`repro.interconnect.link.
+LinkDirection`: a :class:`LinkFaultConfig` (bit-error rate, packet-drop
+probability, retry/retrain latencies) rides on :class:`repro.hmc.config.
+HMCConfig` as the ``faults`` field, and when enabled each link direction
+gets a :class:`LinkFaultInjector` (independent seeded RNG stream) plus a
+:class:`RetryBuffer` that replays NAK'd packets with bounded retries.
+
+Usage::
+
+    from repro.faults import LinkFaultConfig
+    from repro.hmc.config import HMCConfig
+    from repro.system import run_system
+
+    hmc = HMCConfig(faults=LinkFaultConfig(ber=1e-6, seed=7))
+    result = run_system(traces, scheme="camps-mod", hmc=hmc)
+    print(result.extra["link_faults"])   # replays, retrains, crc_errors, ...
+
+Determinism: injector streams are derived via SHA-256 from
+``(seed, link_id, direction)`` and consumed in engine event order, so two
+runs with the same seed report identical retry counts and results.
+"""
+
+from repro.faults.config import LinkFaultConfig
+from repro.faults.injector import ERROR_CRC, ERROR_DROP, LinkFaultInjector, derive_seed
+from repro.faults.retry import RetryBuffer
+
+__all__ = [
+    "LinkFaultConfig",
+    "LinkFaultInjector",
+    "RetryBuffer",
+    "derive_seed",
+    "ERROR_CRC",
+    "ERROR_DROP",
+]

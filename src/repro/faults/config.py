@@ -1,0 +1,60 @@
+"""Configuration for link fault injection.
+
+The HMC 2.1 transaction layer protects every flit with a CRC and keeps
+transmitted packets in a per-link *retry buffer* until the far end
+acknowledges them; a CRC mismatch (or a packet lost outright) triggers a
+link-level retry: the receiver NAKs, the transmitter replays the buffered
+packet.  Repeated failures force a *link retraining* sequence - a long
+re-initialization of the SerDes lanes - after which transmission resumes.
+
+:class:`LinkFaultConfig` parameterizes that error process for the simulator's
+serial links.  The defaults model a healthy link (no faults); campaigns
+enable degradation by setting a bit-error rate and/or a packet-drop
+probability.  Injection is driven by a seeded RNG (one independent stream
+per link direction), so two runs with the same seed produce identical fault
+sequences, retry counts and results - campaigns stay reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkFaultConfig:
+    """Fault-injection parameters for the external serial links.
+
+    ``ber`` is the per-bit error probability: a packet of ``n`` bytes is
+    corrupted with probability ``1 - (1 - ber) ** (8 * n)`` (any flipped bit
+    fails the packet CRC).  ``drop_prob`` models whole-packet loss.  Either
+    event consumes one retry-buffer replay; after ``max_retries`` failed
+    replays of the same packet the link retrains (``retrain_latency``) and
+    the final replay succeeds - the transaction layer is lossless, faults
+    only cost time.
+    """
+
+    ber: float = 0.0  # per-bit error probability
+    drop_prob: float = 0.0  # whole-packet drop probability
+    seed: int = 0  # base seed; per-direction streams are derived
+    max_retries: int = 8  # failed replays before the link retrains
+    retry_latency: int = 24  # NAK round-trip + replay start, in CPU cycles
+    retrain_latency: int = 2000  # SerDes retraining penalty, in CPU cycles
+    retry_buffer_flits: int = 32  # retry-buffer capacity (occupancy stat)
+
+    def __post_init__(self) -> None:
+        for name in ("ber", "drop_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        for name in ("retry_latency", "retrain_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.retry_buffer_flits < 1:
+            raise ValueError("retry_buffer_flits must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault process is active."""
+        return self.ber > 0.0 or self.drop_prob > 0.0

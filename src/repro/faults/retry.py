@@ -1,0 +1,109 @@
+"""HMC-style retry buffer for one serial-link direction.
+
+The transmitter keeps every packet in the retry buffer until it is
+acknowledged.  A CRC failure or drop at the receiver triggers a NAK; the
+transmitter replays the packet from the buffer after ``retry_latency``
+cycles (NAK round-trip + replay start).  After ``max_retries`` consecutive
+failed replays of the same packet the link retrains - a long SerDes
+re-initialization (``retrain_latency``) - and the final replay succeeds.
+
+The link model is arithmetic (busy-until, no events), so the retry buffer
+resolves each packet's whole error episode at ``send`` time: it draws from
+the injector until the packet goes through, tallies the error/replay/retrain
+counters, and reports how many retransmissions the link direction must pay
+for.  Delivery is guaranteed (the HMC transaction layer is lossless); faults
+cost cycles and wire flits, never data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.faults.config import LinkFaultConfig
+from repro.faults.injector import ERROR_DROP, LinkFaultInjector
+
+
+class RetryBuffer:
+    """Per-direction retry state: error counters plus the replay policy."""
+
+    __slots__ = (
+        "config",
+        "injector",
+        "active",
+        "crc_errors",
+        "drops",
+        "replays",
+        "retrains",
+        "replayed_flits",
+        "max_episode_replays",
+    )
+
+    def __init__(self, config: LinkFaultConfig, injector: LinkFaultInjector) -> None:
+        self.config = config
+        self.injector = injector
+        #: a zero-probability buffer can never fault; the link checks this
+        #: flag at the guard so an inert buffer costs one attribute test
+        self.active = config.enabled
+        self.crc_errors = 0
+        self.drops = 0
+        self.replays = 0
+        self.retrains = 0
+        self.replayed_flits = 0
+        self.max_episode_replays = 0
+
+    def transmit(self, nbytes: int, flits: int) -> Tuple[int, bool]:
+        """Resolve one packet's transmission episode.
+
+        Returns ``(replays, retrained)``: how many retransmissions the
+        direction must serialize beyond the first attempt, and whether a
+        retraining penalty applies.  Each failed attempt costs one replay;
+        the attempt after a retrain always succeeds.
+        """
+        replays = 0
+        retrained = False
+        while True:
+            kind = self.injector.packet_error(nbytes)
+            if kind is None:
+                break
+            if kind == ERROR_DROP:
+                self.drops += 1
+            else:
+                self.crc_errors += 1
+            replays += 1
+            if replays >= self.config.max_retries:
+                retrained = True
+                self.retrains += 1
+                break
+        if replays:
+            self.replays += replays
+            self.replayed_flits += replays * flits
+            if replays > self.max_episode_replays:
+                self.max_episode_replays = replays
+        return replays, retrained
+
+    def reset_counters(self) -> None:
+        """Warmup boundary: zero the measurement counters (the injector's
+        RNG stream is simulation state and is preserved)."""
+        self.crc_errors = 0
+        self.drops = 0
+        self.replays = 0
+        self.retrains = 0
+        self.replayed_flits = 0
+        self.max_episode_replays = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Flat counter snapshot (feeds reports and trace summaries)."""
+        return {
+            "crc_errors": self.crc_errors,
+            "drops": self.drops,
+            "replays": self.replays,
+            "retrains": self.retrains,
+            "replayed_flits": self.replayed_flits,
+            "max_episode_replays": self.max_episode_replays,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RetryBuffer replays={self.replays} retrains={self.retrains} "
+            f"crc={self.crc_errors} drops={self.drops}>"
+        )

@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.dram.energy import EnergyParams
 from repro.dram.timing import DRAMTimings
+from repro.faults import LinkFaultConfig
 
 
 def _is_pow2(x: int) -> bool:
@@ -65,6 +66,10 @@ class HMCConfig:
 
     pf_buffer_entries: int = 16
     pf_hit_latency: int = 22
+
+    # Link fault injection (repro.faults); the default models healthy links
+    # and leaves the link model byte-identical to the fault-free path.
+    faults: LinkFaultConfig = field(default_factory=LinkFaultConfig)
 
     # Extensions beyond the paper's fixed setup (defaults match the paper):
     page_policy: str = "open"  # "open" (Table I) or "closed"
@@ -168,6 +173,8 @@ class HMCConfig:
             data["timings"] = DRAMTimings(**t)
         if isinstance(data.get("energy"), dict):
             data["energy"] = EnergyParams(**data["energy"])
+        if isinstance(data.get("faults"), dict):
+            data["faults"] = LinkFaultConfig(**data["faults"])
         return cls(**data)
 
     @classmethod

@@ -41,7 +41,7 @@ class HostController:
         self.mapping = AddressMapping(config)
         bpc = config.link_bytes_per_cycle
         self.links: List[SerialLink] = [
-            SerialLink(i, bpc, config.serdes_latency, config.flit_bytes)
+            SerialLink(i, bpc, config.serdes_latency, config.flit_bytes, config.faults)
             for i in range(config.links)
         ]
         device.set_deliver_fn(self._respond_from_cube)
@@ -123,10 +123,7 @@ class HostController:
         self.read_latency_hist.reset()
         for link in self.links:
             for d in (link.request, link.response):
-                d.packets = 0
-                d.bytes_sent = 0
-                d.flits_sent = 0
-                d.busy_cycles = 0
+                d.reset_statistics()
 
     @property
     def outstanding(self) -> int:
@@ -140,6 +137,38 @@ class HostController:
     def mean_read_latency(self) -> float:
         """Mean round-trip latency of completed reads (AMAT numerator)."""
         return self.read_latency_hist.mean
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any link direction carries a retry buffer."""
+        return any(
+            d.retry is not None
+            for link in self.links
+            for d in (link.request, link.response)
+        )
+
+    def link_fault_summary(self) -> dict:
+        """Aggregated retry-buffer counters across all links.
+
+        Empty dict when fault injection is not attached (the common case),
+        so callers can splice it into reports without an enabled check.
+        """
+        per_link = {}
+        totals: dict = {}
+        for link in self.links:
+            counters = link.fault_counters()
+            if counters is None:
+                continue
+            per_link[f"link{link.link_id}"] = counters
+            for key, value in counters.items():
+                if key == "max_episode_replays":
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        if not per_link:
+            return {}
+        totals["per_link"] = per_link
+        return totals
 
     def link_utilization(self) -> float:
         """Average request+response serialization utilization across links."""

@@ -6,12 +6,21 @@ serialization server: a packet occupies it for ``nbytes / bytes_per_cycle``
 cycles (arithmetic busy-until, no events), then lands after a further fixed
 ``serdes_latency``.  Per-direction flit and byte counts feed the energy model
 and the utilization report.
+
+Fault injection (:mod:`repro.faults`) is opt-in: when a
+:class:`~repro.faults.LinkFaultConfig` is attached, each direction carries a
+:class:`~repro.faults.RetryBuffer` that resolves CRC/drop episodes at send
+time - replayed packets occupy the wire again (plus a NAK round-trip), and
+a retraining penalty applies after ``max_retries`` consecutive failures.
+Delivery is still guaranteed; faults cost cycles and wire flits, never data.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
+
+from repro.faults import LinkFaultConfig, LinkFaultInjector, RetryBuffer
 
 
 class LinkDirection:
@@ -27,6 +36,8 @@ class LinkDirection:
         "bytes_sent",
         "flits_sent",
         "busy_cycles",
+        "retry",
+        "tracer",
     )
 
     def __init__(
@@ -49,28 +60,64 @@ class LinkDirection:
         self.bytes_sent = 0
         self.flits_sent = 0
         self.busy_cycles = 0
+        self.retry: Optional[RetryBuffer] = None
+        self.tracer = None
 
     def send(self, at: int, nbytes: int) -> Tuple[int, int]:
         """Serialize ``nbytes`` starting no earlier than ``at``.
 
         Returns ``(arrival_cycle, flits)``: when the packet is fully
-        delivered at the far end, and how many flits crossed the wire.
+        delivered at the far end, and how many flits crossed the wire
+        (replays included - the energy model charges every wire crossing).
         """
         if nbytes < 1:
             raise ValueError("nbytes must be >= 1")
         start = max(at, self.busy_until)
         ser = max(1, math.ceil(nbytes / self.bytes_per_cycle))
-        self.busy_until = start + ser
-        self.busy_cycles += ser
         flits = max(1, math.ceil(nbytes / self.flit_bytes))
+        occupancy = ser
+        wire_flits = flits
+        retry = self.retry
+        if retry is not None and retry.active:
+            replays, retrained = retry.transmit(nbytes, flits)
+            if replays:
+                cfg = retry.config
+                occupancy += replays * (ser + cfg.retry_latency)
+                wire_flits += replays * flits
+                if retrained:
+                    occupancy += cfg.retrain_latency
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.link_retry(self.name, replays, nbytes, start)
+                    if retrained:
+                        tracer.link_retrain(self.name, start)
+        self.busy_until = start + occupancy
+        self.busy_cycles += occupancy
         self.packets += 1
         self.bytes_sent += nbytes
-        self.flits_sent += flits
-        return start + ser + self.serdes_latency, flits
+        self.flits_sent += wire_flits
+        return start + occupancy + self.serdes_latency, wire_flits
 
     def utilization(self, total_cycles: int) -> float:
-        """Fraction of time this direction spent serializing."""
-        return self.busy_cycles / total_cycles if total_cycles else 0.0
+        """Fraction of time this direction spent serializing.
+
+        Clamped to 1.0: the last packet's serialization (and any retry
+        episode) can extend past the measurement window, so raw
+        ``busy_cycles`` may exceed ``total_cycles``.
+        """
+        if not total_cycles:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+    def reset_statistics(self) -> None:
+        """Warmup boundary: zero traffic and retry counters (busy_until and
+        the injector RNG stream are simulation state and are preserved)."""
+        self.packets = 0
+        self.bytes_sent = 0
+        self.flits_sent = 0
+        self.busy_cycles = 0
+        if self.retry is not None:
+            self.retry.reset_counters()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<LinkDir {self.name} busy_until={self.busy_until} pkts={self.packets}>"
@@ -85,6 +132,7 @@ class SerialLink:
         bytes_per_cycle: float,
         serdes_latency: int,
         flit_bytes: int,
+        faults: Optional[LinkFaultConfig] = None,
     ) -> None:
         self.link_id = link_id
         self.request = LinkDirection(
@@ -93,10 +141,41 @@ class SerialLink:
         self.response = LinkDirection(
             f"link{link_id}.resp", bytes_per_cycle, serdes_latency, flit_bytes
         )
+        if faults is not None:
+            self.attach_faults(faults)
+
+    def attach_faults(self, config: LinkFaultConfig) -> None:
+        """Enable fault injection on both directions.
+
+        A no-op when the config models a healthy link (``enabled`` False),
+        so the zero-fault path stays byte-identical to a link without the
+        fault layer.  Each direction gets its own SHA-256-derived RNG
+        stream, keyed by ``(seed, link_id, direction)``.
+        """
+        if not config.enabled:
+            return
+        for d, tag in ((self.request, "req"), (self.response, "resp")):
+            injector = LinkFaultInjector(config, self.link_id, tag)
+            d.retry = RetryBuffer(config, injector)
 
     @property
     def total_flits(self) -> int:
         return self.request.flits_sent + self.response.flits_sent
+
+    def fault_counters(self) -> Optional[dict]:
+        """Aggregated retry counters across both directions, or None when
+        fault injection is not attached."""
+        dirs = [d for d in (self.request, self.response) if d.retry is not None]
+        if not dirs:
+            return None
+        agg: dict = {}
+        for d in dirs:
+            for key, value in d.retry.counters().items():
+                if key == "max_episode_replays":
+                    agg[key] = max(agg.get(key, 0), value)
+                else:
+                    agg[key] = agg.get(key, 0) + value
+        return agg
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SerialLink {self.link_id}>"

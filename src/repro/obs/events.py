@@ -44,6 +44,8 @@ BUF_REPLACE = "buf.replace"  # replacement decision (victim choice)
 
 # --- transfers ---------------------------------------------------------------
 LINK_TX = "link.tx"  # packet serialized onto an external serial link
+LINK_RETRY = "link.retry"  # CRC/drop episode: NAK'd packet replayed from the retry buffer
+LINK_RETRAIN = "link.retrain"  # bounded retries exhausted: link retraining penalty
 TSV_XFER = "tsv.xfer"  # row/line transfer over a vault's internal TSVs
 
 # --- scheduler / engine ------------------------------------------------------
@@ -72,6 +74,8 @@ ALL_KINDS = (
     PF_EVICT,
     BUF_REPLACE,
     LINK_TX,
+    LINK_RETRY,
+    LINK_RETRAIN,
     TSV_XFER,
     SCHED_DRAIN,
     ENGINE_FIRE,

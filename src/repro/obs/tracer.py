@@ -217,6 +217,18 @@ class Tracer:
             args={"link": link, "direction": direction, "bytes": nbytes},
         )
 
+    def link_retry(self, direction: str, replays: int, nbytes: int, time: int) -> None:
+        """One packet's error episode: NAK'd and replayed ``replays`` times."""
+        self._push(
+            ev.LINK_RETRY,
+            time,
+            args={"direction": direction, "replays": replays, "bytes": nbytes},
+        )
+
+    def link_retrain(self, direction: str, time: int) -> None:
+        """Bounded retries exhausted: the link paid a retraining penalty."""
+        self._push(ev.LINK_RETRAIN, time, args={"direction": direction})
+
     def sched_drain(self, vault: int, draining: bool, pending_writes: int, time: int) -> None:
         self._push(
             ev.SCHED_DRAIN,
@@ -257,9 +269,13 @@ class Tracer:
         for link in host.links:
             ls = host_scope.scope(f"link{link.link_id}")
             for d in (link.request, link.response):
+                d.tracer = self
                 direction = d.name.rsplit(".", 1)[-1]
                 ls.register(f"{direction}_packets", (lambda d=d: d.packets))
                 ls.register(f"{direction}_bytes", (lambda d=d: d.bytes_sent))
+                if d.retry is not None:
+                    ls.register(f"{direction}_replays", (lambda d=d: d.retry.replays))
+                    ls.register(f"{direction}_retrains", (lambda d=d: d.retry.retrains))
 
         for vc in device.vaults:
             vc.tracer = self

@@ -51,7 +51,7 @@ class Event:
         fn: Callable[..., Any],
         args: Tuple[Any, ...],
         weak: bool = False,
-        engine: "Engine" = None,
+        engine: Optional["Engine"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -108,6 +108,9 @@ class Engine:
         #: attached observability tracer (repro.obs.Tracer) or None; per-event
         #: span recording only happens when the tracer asks for engine_spans
         self.tracer = None
+        #: attached forward-progress watchdog (repro.sim.integrity.Watchdog)
+        #: or None; polled every watchdog.interval fired events
+        self.watchdog = None
         #: cumulative wall-clock time spent inside run() (seconds)
         self.wall_seconds: float = 0.0
 
@@ -172,6 +175,10 @@ class Engine:
         # falsy check per event and nothing else.
         tracer = self.tracer
         spans = tracer is not None and tracer.engine_spans
+        # Same treatment for the watchdog: 0 disables the whole branch.
+        watchdog = self.watchdog
+        wd_interval = watchdog.interval if watchdog is not None else 0
+        wd_count = 0
         t0 = perf_counter()
         try:
             while heap:
@@ -194,15 +201,24 @@ class Engine:
                 ev.fired = True
                 if spans:
                     tracer.engine_fire(ev.time, ev.fn)
-                ev.fn(*ev.args)
+                # Counted before the call so a raising callback still shows
+                # up in events_fired (crash reports rely on the count).
                 fired += 1
+                ev.fn(*ev.args)
+                if wd_interval:
+                    wd_count += 1
+                    if wd_count >= wd_interval:
+                        wd_count = 0
+                        watchdog.poll(self.now)
             else:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
             self._running = False
             self.wall_seconds += perf_counter() - t0
-        self._events_fired += fired
+            # Inside the finally so a watchdog/callback exception still
+            # leaves an accurate lifetime count for the crash report.
+            self._events_fired += fired
         return fired
 
     def step(self) -> bool:

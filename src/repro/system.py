@@ -108,6 +108,12 @@ class SystemConfig:
     #: keep every completed MemoryRequest on the host for post-run latency
     #: analysis (repro.metrics.latency); costs memory proportional to trace
     record_requests: bool = False
+    #: enable the simulation integrity layer (repro.sim.integrity): a
+    #: forward-progress watchdog, structural invariant checks, and a crash
+    #: dump + IntegrityError on any violation or engine exception
+    integrity: bool = False
+    #: where crash dumps land (None = $REPRO_CRASH_DIR or ./crash_dumps)
+    crash_dump_dir: Optional[str] = None
 
 
 @dataclass
@@ -229,13 +235,45 @@ class System:
         self.tracer = tracer
         if tracer is not None:
             tracer.wire_system(self)
+        self.monitor = None
+        if self.config.integrity:
+            from repro.sim.integrity import IntegrityMonitor  # local: keep the
+            # default build path free of the integrity import
+
+            self.monitor = IntegrityMonitor(
+                self, crash_dump_dir=self.config.crash_dump_dir
+            )
         self._ran = False
 
     def run(self, max_events: Optional[int] = None) -> SimulationResult:
-        """Run to completion (all cores retire all trace records)."""
+        """Run to completion (all cores retire all trace records).
+
+        With ``integrity`` enabled, any wedge, invariant violation or
+        engine exception writes a crash dump and raises
+        :class:`~repro.sim.integrity.IntegrityError` with the diagnosis
+        attached (the campaign layer records it in the manifest).
+        """
         if self._ran:
             raise RuntimeError("System.run() may only be called once")
         self._ran = True
+        if self.monitor is None:
+            return self._run_inner(max_events)
+        from repro.sim.integrity import IntegrityError
+
+        try:
+            result = self._run_inner(max_events)
+            self.monitor.check_final()
+            return result
+        except IntegrityError as exc:
+            # Watchdog/invariant raises arrive undressed (no dump yet);
+            # check_final raises fully dressed (dump_path set).
+            if exc.dump_path is None:
+                raise self.monitor.failed(exc) from None
+            raise
+        except Exception as exc:
+            raise self.monitor.failed(exc) from exc
+
+    def _run_inner(self, max_events: Optional[int] = None) -> SimulationResult:
         if self.config.stats_warmup_cycles is not None:
             self.engine.schedule(
                 self.config.stats_warmup_cycles,
@@ -308,6 +346,8 @@ class System:
             extra["mmd_final_degrees"] = [
                 vc.prefetcher.degree for vc in self.device.vaults
             ]
+        if self.host.faults_enabled:
+            extra["link_faults"] = self.host.link_fault_summary()
         if self.tracer is not None:
             extra["trace_summary"] = self.tracer.summary()
         return SimulationResult(
@@ -341,6 +381,8 @@ def run_system(
     core_params: Optional[CoreParams] = None,
     scheme_kwargs: Optional[Dict[str, Any]] = None,
     tracer: Optional[Any] = None,
+    integrity: bool = False,
+    crash_dump_dir: Optional[str] = None,
 ) -> SimulationResult:
     """Build-and-run convenience wrapper (the main public entry point)."""
     cfg = SystemConfig(
@@ -348,6 +390,8 @@ def run_system(
         core_params=core_params or CoreParams(),
         scheme=scheme,
         use_caches=use_caches,
+        integrity=integrity,
+        crash_dump_dir=crash_dump_dir,
     )
     return System(
         traces, cfg, workload=workload, scheme_kwargs=scheme_kwargs, tracer=tracer

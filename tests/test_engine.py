@@ -271,3 +271,97 @@ class TestDeterminism:
             return order
 
         assert build() == build() == [3, 4, 1, 2]
+
+
+class TestEdgePaths:
+    """Edge cases of peek_time, step, and the run() re-entrancy guard."""
+
+    def test_peek_time_all_cancelled_returns_none(self):
+        eng = Engine()
+        evs = [eng.schedule(i + 1, lambda: None) for i in range(3)]
+        for ev in evs:
+            ev.cancel()
+        assert eng.peek_time() is None
+        assert eng.pending == 0
+
+    def test_peek_time_empty_heap_returns_none(self):
+        assert Engine().peek_time() is None
+
+    def test_peek_time_skips_cancelled_head_to_live_event(self):
+        eng = Engine()
+        head = eng.schedule(1, lambda: None)
+        eng.schedule(5, lambda: None)
+        head.cancel()
+        assert eng.peek_time() == 5
+
+    def test_step_with_only_weak_events_fires_nothing(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1, fired.append, "w", weak=True)
+        assert eng.step() is False
+        assert fired == []
+
+    def test_step_with_cancelled_head_fires_next_live(self):
+        eng = Engine()
+        fired = []
+        head = eng.schedule(1, fired.append, "a")
+        eng.schedule(2, fired.append, "b")
+        head.cancel()
+        assert eng.step() is True
+        assert fired == ["b"]
+
+    def test_step_inside_callback_hits_reentrancy_guard(self):
+        eng = Engine()
+        errors = []
+
+        def inner():
+            try:
+                eng.step()
+            except RuntimeError as e:
+                errors.append(str(e))
+
+        eng.schedule(1, inner)
+        eng.run()
+        assert len(errors) == 1
+        assert "not reentrant" in errors[0]
+
+    def test_engine_usable_after_callback_exception(self):
+        eng = Engine()
+
+        def boom():
+            raise ValueError("callback failed")
+
+        eng.schedule(1, boom)
+        with pytest.raises(ValueError):
+            eng.run()
+        # the guard must be released and the lifetime counter accurate
+        fired = []
+        eng.schedule(1, fired.append, "after")
+        eng.run()
+        assert fired == ["after"]
+        assert eng.events_fired == 2
+
+
+class TestWatchdogHook:
+    def test_watchdog_polled_every_interval(self):
+        class Probe:
+            interval = 2
+
+            def __init__(self):
+                self.polls = []
+
+            def poll(self, now):
+                self.polls.append(now)
+
+        eng = Engine()
+        eng.watchdog = probe = Probe()
+        for i in range(7):
+            eng.schedule(i, lambda: None)
+        eng.run()
+        # 7 events at interval 2 -> polls after the 2nd, 4th, 6th event
+        assert len(probe.polls) == 3
+
+    def test_no_watchdog_runs_clean(self):
+        eng = Engine()
+        eng.schedule(1, lambda: None)
+        assert eng.run() == 1
