@@ -183,9 +183,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    """Profile one simulation cell: engine throughput + hot callbacks."""
+    """Profile one simulation cell: engine throughput, per-subsystem
+    breakdown, and hot callbacks."""
     import cProfile
     import pstats
+
+    from repro.sim.profiling import (
+        breakdown_table,
+        profile_payload,
+        subsystem_breakdown,
+    )
 
     cfg = _experiment_config(args)
     traces = make_mix(args.mix, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
@@ -200,11 +207,30 @@ def cmd_profile(args: argparse.Namespace) -> int:
     profiler.disable()
 
     eng = system.engine
+    breakdown = subsystem_breakdown(profiler)
+    if args.json:
+        payload = profile_payload(
+            breakdown,
+            cycles=result.cycles,
+            events_fired=eng.events_fired,
+            wall_seconds=eng.wall_seconds,
+        )
+        payload.update(
+            mix=args.mix, scheme=args.scheme,
+            refs_per_core=cfg.refs_per_core, seed=cfg.seed,
+        )
+        print(json.dumps(payload))
+        if args.out:
+            pstats.Stats(profiler).dump_stats(args.out)
+        return 0
     print(f"{args.mix} / {args.scheme} ({cfg.refs_per_core} refs/core, seed {cfg.seed})")
     print(f"  simulated cycles    {result.cycles}")
     print(f"  events fired        {eng.events_fired}")
     print(f"  wall time           {eng.wall_seconds:.3f} s (engine loop)")
     print(f"  events/sec          {eng.events_per_sec:,.0f}")
+    print()
+    print("per-subsystem breakdown (profiled wall time):")
+    print(breakdown_table(breakdown))
     print()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort)
@@ -490,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["tottime", "cumtime", "ncalls"],
                         help="pstats sort key")
     p_prof.add_argument("--out", help="also dump raw pstats data to this file")
+    p_prof.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable summary (throughput + per-subsystem "
+        "slices; the format bench_hotpath.py embeds in BENCH_hotpath.json)",
+    )
     p_prof.set_defaults(fn=cmd_profile)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")

@@ -26,7 +26,7 @@ RowKey = Tuple[int, int]  # (bank, row)
 
 
 def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 class BufferEntry:
@@ -202,10 +202,17 @@ class PrefetchBuffer:
     # Recency stack maintenance (paper Section 3.2 semantics)
     # ------------------------------------------------------------------
     def _make_mru(self, entry: BufferEntry, old_value: int) -> None:
+        top = self.capacity - 1
+        if old_value == top and entry.recency == top:
+            # Re-touching the MRU entry: no other recency exceeds ``top``,
+            # so the decrement sweep would scan and change nothing.  (The
+            # recency check matters: a fresh insert may inherit old_value
+            # == top from an evicted MRU victim and still needs stamping.)
+            return
         for e in self._entries.values():
             if e is not entry and e.recency > old_value:
                 e.recency -= 1
-        entry.recency = self.capacity - 1
+        entry.recency = top
 
     # ------------------------------------------------------------------
     # Queries

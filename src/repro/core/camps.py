@@ -32,7 +32,8 @@ from repro.core.buffer import (
     UtilizationRecencyPolicy,
 )
 from repro.core.prefetcher import PrefetchAction, Prefetcher
-from repro.core.tables import ConflictTable, RowUtilizationTable
+from repro.core.tables import ConflictTable, RowUtilizationTable, RUTEntry
+from repro.obs.hooks import noop
 from repro.dram.bank import RowOutcome
 from repro.hmc.config import HMCConfig
 
@@ -78,9 +79,30 @@ class CampsPrefetcher(Prefetcher):
             count_distinct=self.params.count_distinct,
         )
         self.ct = ConflictTable(entries=self.params.conflict_table_entries)
+        # hot-path mirrors: the frozen-dataclass attribute chain costs two
+        # lookups per demand access, and the RUT entry list (bound once in
+        # RowUtilizationTable.__init__, mutated in place) lets
+        # on_demand_access update utilization without the record_access
+        # frame (tables.py keeps the reference implementation).
+        self._threshold = self.params.utilization_threshold
+        self._rut_entries = self.rut._entries
+        self._count_distinct = self.params.count_distinct
         # decision statistics (reported by experiments)
         self.utilization_prefetches = 0
         self.conflict_prefetches = 0
+
+    def _rebind_hooks(self) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            self._emit_rut_threshold = tracer.rut_threshold
+            self._emit_ct_insert = tracer.ct_insert
+            self._emit_ct_evict = tracer.ct_evict
+            self._emit_ct_hit = tracer.ct_hit
+        else:
+            self._emit_rut_threshold = noop
+            self._emit_ct_insert = noop
+            self._emit_ct_evict = noop
+            self._emit_ct_hit = noop
 
     def make_policy(self) -> ReplacementPolicy:
         return UtilizationRecencyPolicy() if self.modified else LRUPolicy()
@@ -97,10 +119,17 @@ class CampsPrefetcher(Prefetcher):
         outcome: RowOutcome,
         now: int,
     ) -> List[PrefetchAction]:
-        tracer = self.tracer
         if outcome is RowOutcome.HIT:
-            util = self.rut.record_access(bank, row, column, now)
-            if util >= self.params.utilization_threshold:
+            # RUT.record_access inlined (see __init__ mirrors).
+            entries = self._rut_entries
+            e = entries[bank]
+            if e is None or e.row != row:
+                e = RUTEntry(row=row, opened_at=now)
+                entries[bank] = e
+            e.line_mask = mask = e.line_mask | (1 << column)
+            e.accesses += 1
+            util = mask.bit_count() if self._count_distinct else e.accesses
+            if util >= self._threshold:
                 # High-utilization row: move it wholesale to the buffer and
                 # free the bank (paper: "fetches the whole row ... and
                 # precharges bank to make it ready for next request").  The
@@ -110,8 +139,7 @@ class CampsPrefetcher(Prefetcher):
                 seed = entry.line_mask if entry is not None else (1 << column)
                 self.rut.clear(bank)
                 self.utilization_prefetches += 1
-                if tracer is not None:
-                    tracer.rut_threshold(self.vault_id, bank, row, util, now)
+                self._emit_rut_threshold(self.vault_id, bank, row, util, now)
                 return self._count_issue(
                     [
                         PrefetchAction(
@@ -132,17 +160,15 @@ class CampsPrefetcher(Prefetcher):
             displaced = self.rut.replace(bank, row, now)
             if displaced is not None:
                 evicted = self.ct.insert(bank, displaced.row, now)
-                if tracer is not None:
-                    tracer.ct_insert(self.vault_id, bank, displaced.row, now)
-                    if evicted is not None:
-                        tracer.ct_evict(self.vault_id, evicted[0], evicted[1], now)
+                self._emit_ct_insert(self.vault_id, bank, displaced.row, now)
+                if evicted is not None:
+                    self._emit_ct_evict(self.vault_id, evicted[0], evicted[1], now)
             if self.ct.check_and_remove(bank, row):
                 # This row has itself been conflicted out recently: it is
                 # conflict-prone, prefetch it now and close the bank.
                 self.rut.clear(bank)
                 self.conflict_prefetches += 1
-                if tracer is not None:
-                    tracer.ct_hit(self.vault_id, bank, row, now)
+                self._emit_ct_hit(self.vault_id, bank, row, now)
                 return self._count_issue(
                     [
                         PrefetchAction(
@@ -156,15 +182,22 @@ class CampsPrefetcher(Prefetcher):
                     ]
                 )
             # Not (yet) conflict-prone: keep it open, track utilization.
-            self.rut.record_access(bank, row, column, now)
+            # (record_access inlined; the utilization metric is not needed
+            # here, so the popcount is skipped too.)
+            entries = self._rut_entries
+            e = entries[bank]
+            if e is None or e.row != row:
+                e = RUTEntry(row=row, opened_at=now)
+                entries[bank] = e
+            e.line_mask |= 1 << column
+            e.accesses += 1
             return []
 
         # EMPTY: fresh activation of a precharged bank.
         if self.ct.check_and_remove(bank, row):
             self.rut.clear(bank)
             self.conflict_prefetches += 1
-            if tracer is not None:
-                tracer.ct_hit(self.vault_id, bank, row, now)
+            self._emit_ct_hit(self.vault_id, bank, row, now)
             return self._count_issue(
                 [
                     PrefetchAction(
@@ -177,7 +210,14 @@ class CampsPrefetcher(Prefetcher):
                     )
                 ]
             )
-        self.rut.record_access(bank, row, column, now)
+        # record_access inlined, metric unused (same as the CONFLICT path).
+        entries = self._rut_entries
+        e = entries[bank]
+        if e is None or e.row != row:
+            e = RUTEntry(row=row, opened_at=now)
+            entries[bank] = e
+        e.line_mask |= 1 << column
+        e.accesses += 1
         return []
 
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.vault.controller import VaultController
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchAction:
     """One row fetch the controller should perform on the prefetcher's behalf.
 
@@ -73,7 +73,28 @@ class Prefetcher(abc.ABC):
         self.controller: Optional["VaultController"] = None
         self.prefetches_issued = 0
         #: observability hook (repro.obs.Tracer); installed by Tracer.wire_system
-        self.tracer = None
+        self._tracer = None
+        self._rebind_hooks()
+
+    # ------------------------------------------------------------------
+    # Instrumentation (see repro.obs.hooks)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._rebind_hooks()
+
+    def _rebind_hooks(self) -> None:
+        """Resolve per-site emit attributes against the current tracer.
+
+        Subclasses with decision-point hooks override this, binding each
+        ``self._emit_x`` to either ``self._tracer.x`` or
+        :func:`repro.obs.hooks.noop`.  The base class has no hook sites.
+        """
 
     # ------------------------------------------------------------------
     # Wiring

@@ -94,7 +94,18 @@ class Core:
         self.gaps = np.asarray(gaps, dtype=np.int64)
         self.addrs = np.asarray(addrs, dtype=np.int64)
         self.writes = np.asarray(writes, dtype=bool)
+        # Plain-list mirrors for the replay loop: scalar indexing into a
+        # NumPy array boxes a fresh numpy scalar per record, which showed
+        # up in profiles at one gap+addr+write triple per trace record.
+        self._gaps = self.gaps.tolist()
+        self._addrs = self.addrs.tolist()
+        self._writes = self.writes.tolist()
         self.params = params or CoreParams()
+        # replay-loop mirrors: the frozen-dataclass attribute chain is paid
+        # once here instead of per _run() invocation
+        self._issue_width = self.params.issue_width
+        self._rob_size = self.params.rob_size
+        self._mlp = self.params.mlp
         self.on_done = on_done
 
         self.n = len(self.gaps)
@@ -134,70 +145,110 @@ class Core:
     def _run(self) -> None:
         if self.done or self._waiting:
             return
-        if self.engine.now > self.cycle:
-            self.cycle = self.engine.now
-        p = self.params
-        while self.idx < self.n:
-            if not self._advanced:
-                gap = int(self.gaps[self.idx])
-                self.cycle += -(-gap // p.issue_width)  # ceil division
-                self._pending_instr = self.instr + gap + 1
-                self._advanced = True
+        # The replay loop mirrors its per-record state into locals and writes
+        # it back at every exit.  This is safe because nothing fires between
+        # records: mem.load/store only schedule events, and the fill callback
+        # (the one other writer of pending_misses / _waiting) runs from a
+        # future engine event, never synchronously inside this call.
+        engine = self.engine
+        now = engine.now
+        cycle = self.cycle
+        if now > cycle:
+            cycle = now
+        issue_width = self._issue_width
+        rob_size = self._rob_size
+        mlp = self._mlp
+        gaps = self._gaps
+        addrs = self._addrs
+        writes = self._writes
+        outstanding = self.outstanding
+        mem = self.mem
+        core_id = self.core_id
+        n = self.n
+        idx = self.idx
+        instr = self.instr
+        advanced = self._advanced
+        pending_instr = self._pending_instr
+        pending_misses = self.pending_misses
+        stalled = False
+        while idx < n:
+            if not advanced:
+                gap = gaps[idx]
+                cycle += -(-gap // issue_width)  # ceil division
+                pending_instr = instr + gap + 1
+                advanced = True
 
             # ROB constraint: cannot run further than rob_size instructions
             # past an incomplete load.
-            rob_limit = self._pending_instr - p.rob_size
-            blocked = False
-            while self.outstanding and self.outstanding[0][0] <= rob_limit:
-                head = self.outstanding[0]
-                if head[1] is None:
+            rob_limit = pending_instr - rob_size
+            while outstanding and outstanding[0][0] <= rob_limit:
+                head = outstanding[0]
+                done_at = head[1]
+                if done_at is None:
                     self.rob_stalls += 1
-                    self._waiting = True
-                    blocked = True
+                    stalled = True
                     break
-                if head[1] > self.cycle:
-                    self.cycle = head[1]
-                self.outstanding.popleft()
-            if blocked:
-                return
+                if done_at > cycle:
+                    cycle = done_at
+                outstanding.popleft()
+            if stalled:
+                break
 
             # MLP constraint: bounded outstanding misses.
-            if self.pending_misses >= p.mlp:
+            if pending_misses >= mlp:
                 self.mlp_stalls += 1
-                self._waiting = True
-                return
+                stalled = True
+                break
 
             # Synchronize engine time with core time before touching memory.
-            if self.cycle > self.engine.now:
-                self.engine.schedule_at(self.cycle, self._run)
+            if cycle > now:
+                self.cycle = cycle
+                self.idx = idx
+                self.instr = instr
+                self._advanced = advanced
+                self._pending_instr = pending_instr
+                self.pending_misses = pending_misses
+                engine.call_at(cycle, self._run)
                 return
 
             # Commit the record and issue its memory operation.
-            addr = int(self.addrs[self.idx])
-            is_write = bool(self.writes[self.idx])
-            self.instr = self._pending_instr
-            self.idx += 1
-            self._advanced = False
+            addr = addrs[idx]
+            is_write = writes[idx]
+            instr = pending_instr
+            idx += 1
+            advanced = False
             if is_write:
-                self.mem.store(self.core_id, addr)
+                mem.store(core_id, addr)
             else:
-                entry: List[Optional[int]] = [self.instr, None]
-                self.outstanding.append(entry)
-                known = self.mem.load(self.core_id, addr, self._make_fill(entry))
+                entry: List[Optional[int]] = [instr, None]
+                outstanding.append(entry)
+                known = mem.load(core_id, addr, self._make_fill(entry))
                 if known is not None:
                     entry[1] = known
                 else:
-                    self.pending_misses += 1
+                    pending_misses += 1
+        self.cycle = cycle
+        self.idx = idx
+        self.instr = instr
+        self._advanced = advanced
+        self._pending_instr = pending_instr
+        self.pending_misses = pending_misses
+        if stalled:
+            self._waiting = True
+            return
         self._try_finish()
 
     def _make_fill(self, entry: List[Optional[int]]) -> Callable[[MemoryRequest], None]:
         def fill(_req: MemoryRequest) -> None:
-            entry[1] = self.engine.now
+            engine = self.engine
+            now = engine.now
+            entry[1] = now
             self.pending_misses -= 1
             if self._waiting:
                 self._waiting = False
-                self.stall_cycles += max(0, self.engine.now - self.cycle)
-                self.engine.schedule(0, self._run)
+                if now > self.cycle:
+                    self.stall_cycles += now - self.cycle
+                engine.call_at(now, self._run)
             elif self.done is False and self.idx >= self.n:
                 self._try_finish()
 

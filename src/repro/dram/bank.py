@@ -21,6 +21,7 @@ from typing import List, Optional
 from repro.dram.bus import TsvBus
 from repro.dram.commands import Command, CommandKind
 from repro.dram.timing import DRAMTimings
+from repro.obs.hooks import noop
 
 
 class AccessKind(enum.Enum):
@@ -36,7 +37,7 @@ class RowOutcome(enum.Enum):
     CONFLICT = "conflict"  # different row open: precharge + activate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Service window of one access: when it started occupying the bank,
     when its data is available, and how the row buffer was found."""
@@ -74,7 +75,9 @@ class Bank:
         "refreshes",
         "record_commands",
         "command_log",
-        "tracer",
+        "_tracer",
+        "_log",
+        "_emit_conflict",
     )
 
     def __init__(
@@ -109,18 +112,40 @@ class Bank:
         self.refreshes = 0
         self.record_commands = record_commands
         self.command_log: List[Command] = []
-        # observability hook (repro.obs.Tracer); None keeps _log at one
-        # attribute check beyond the seed behaviour
-        self.tracer = None
+        self._tracer = None
+        self._rebind_hooks()
+
+    # ------------------------------------------------------------------
+    # Instrumentation (see repro.obs.hooks): ``_log`` and
+    # ``_emit_conflict`` are instance attributes resolved to either a real
+    # emitter or the shared noop, so the command paths pay zero branches.
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._rebind_hooks()
+
+    def _rebind_hooks(self) -> None:
+        tracer = self._tracer
+        self._emit_conflict = tracer.bank_conflict if tracer is not None else noop
+        if self.record_commands or tracer is not None:
+            self._log = self._log_command
+        else:
+            self._log = noop
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _log(self, kind: CommandKind, row: int, cycle: int) -> None:
+    def _log_command(self, kind: CommandKind, row: int, cycle: int) -> None:
         if self.record_commands:
             self.command_log.append(Command(kind, self.bank_id, row, cycle))
-        if self.tracer is not None:
-            self.tracer.bank_command(self.bus.vault_id, self.bank_id, kind, row, cycle)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.bank_command(self.bus.vault_id, self.bank_id, kind, row, cycle)
 
     def _earliest_precharge(self, at: int) -> int:
         """PRECHARGE may not issue before tRAS elapses after ACTIVATE."""
@@ -155,34 +180,40 @@ class Bank:
     # ------------------------------------------------------------------
     def access(self, kind: AccessKind, row: int, now: int) -> AccessResult:
         """Serve one 64 B demand access to ``row`` starting no earlier than
-        ``now``.  Leaves the row open (open-page policy, Table I)."""
-        t = self.timings
-        start = max(now, self.busy_until)
-        outcome = self.classify(row)
+        ``now``.  Leaves the row open (open-page policy, Table I).
 
-        if outcome is RowOutcome.CONFLICT:
+        The hottest bank entry point: row-buffer classification and the TSV
+        reservation are inlined (see :meth:`classify` / ``TsvBus.reserve``
+        for the reference semantics)."""
+        t = self.timings
+        busy = self.busy_until
+        start = now if now > busy else busy
+        open_row = self.open_row
+
+        if open_row == row and open_row is not None:
+            outcome = RowOutcome.HIT
+            self.hits += 1
+            data_start = start
+        elif open_row is None:
+            outcome = RowOutcome.EMPTY
+            self.empties += 1
+            self._log(CommandKind.ACTIVATE, row, start)
+            self.acts += 1
+            self.last_activate = start
+            data_start = start + t.trcd_cpu
+        else:
+            outcome = RowOutcome.CONFLICT
             self.conflicts += 1
-            if self.tracer is not None:
-                self.tracer.bank_conflict(
-                    self.bus.vault_id, self.bank_id, self.open_row or 0, row, start
-                )
-            pre_at = self._earliest_precharge(start)
-            self._log(CommandKind.PRECHARGE, self.open_row or 0, pre_at)
+            self._emit_conflict(self.bus.vault_id, self.bank_id, open_row, row, start)
+            tras_done = self.last_activate + t.tras_cpu
+            pre_at = start if start > tras_done else tras_done
+            self._log(CommandKind.PRECHARGE, open_row, pre_at)
             self.pres += 1
             act_at = pre_at + t.trp_cpu
             self._log(CommandKind.ACTIVATE, row, act_at)
             self.acts += 1
             self.last_activate = act_at
             data_start = act_at + t.trcd_cpu
-        elif outcome is RowOutcome.EMPTY:
-            self.empties += 1
-            self._log(CommandKind.ACTIVATE, row, start)
-            self.acts += 1
-            self.last_activate = start
-            data_start = start + t.trcd_cpu
-        else:  # HIT
-            self.hits += 1
-            data_start = start
 
         if kind is AccessKind.READ:
             self._log(CommandKind.READ, row, data_start)
@@ -191,7 +222,17 @@ class Bank:
             self._log(CommandKind.WRITE, row, data_start)
             self.writes += 1
 
-        finish = self._data_transfer(data_start, t.tburst_cpu)
+        # inline self._data_transfer(data_start, t.tburst_cpu)
+        bus = self.bus
+        dur = t.tburst_cpu
+        earliest = data_start + t.tcl_cpu
+        bus_busy = bus.busy_until
+        xfer = earliest if earliest > bus_busy else bus_busy
+        finish = xfer + dur
+        bus.busy_until = finish
+        bus.reservations += 1
+        bus.busy_cycles += dur
+
         self.open_row = row
         self.busy_until = finish
         if self.closed_page:

@@ -40,6 +40,7 @@ class HMCDevice:
         self.crossbar = Crossbar(config.vaults, config.crossbar_latency)
         self.energy = EnergyModel(config.energy)
         self._deliver_fn: Optional[DeliverFn] = None
+        self._xbar_latency = config.crossbar_latency
         kwargs = scheme_kwargs or {}
         self.vaults: List[VaultController] = [
             VaultController(
@@ -58,24 +59,48 @@ class HMCDevice:
     # Wiring
     # ------------------------------------------------------------------
     def set_deliver_fn(self, fn: DeliverFn) -> None:
-        """Install the host-side completion path (set by HostController)."""
+        """Install the host-side completion path (set by HostController).
+
+        The vault controllers are rewired to call ``fn`` directly, skipping
+        the :meth:`_on_vault_response` pass-through frame on the hot path.
+        The deliver fn receives the *bank-side* ready cycle; the response
+        crossbar traversal is charged by the receiver (the host controller
+        mirrors ``config.crossbar_latency`` for this).
+        """
         self._deliver_fn = fn
+        for vc in self.vaults:
+            vc.respond_fn = fn
 
     # ------------------------------------------------------------------
     # Datapath
     # ------------------------------------------------------------------
     def inject(self, req: MemoryRequest, at: int) -> None:
         """A request packet leaves the link's cube-side receiver at ``at``:
-        route it through the crossbar to its vault controller."""
-        arrival = self.crossbar.route(at, req.vault)
-        self.engine.schedule_at(arrival, self.vaults[req.vault].receive, req)
+        route it through the crossbar to its vault controller.
+
+        The crossbar traversal is inlined (``Crossbar.route`` holds the
+        reference semantics); the host decode already bounds ``req.vault``.
+        """
+        xbar = self.crossbar
+        vault = req.vault
+        port_busy = xbar._port_busy
+        start = port_busy[vault]
+        if start > at:
+            xbar.port_conflicts += 1
+        else:
+            start = at
+        port_busy[vault] = start + xbar.port_cycle
+        xbar.traversals += 1
+        self.engine.call_at(start + xbar.latency, self.vaults[vault].receive, req)
 
     def _on_vault_response(self, req: MemoryRequest, ready: int) -> None:
-        """A vault finished a request at ``ready``; hand it to the host path
-        (response crossbar traversal charged here, links at the host)."""
+        """A vault finished a request at ``ready``; hand it to the host path.
+        (Vaults call the deliver fn directly once a host is attached - this
+        stays as the pre-wiring default and the no-host error path.  The
+        response crossbar traversal is charged by the deliver fn.)"""
         if self._deliver_fn is None:
             raise RuntimeError("HMCDevice has no host attached")
-        self._deliver_fn(req, ready + self.config.crossbar_latency)
+        self._deliver_fn(req, ready)
 
     # ------------------------------------------------------------------
     # End-of-run aggregation

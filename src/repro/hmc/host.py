@@ -18,6 +18,7 @@ from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
 from repro.interconnect.link import SerialLink
 from repro.interconnect.packet import PacketKind, packet_bytes
+from repro.obs.hooks import noop
 from repro.request import MemoryRequest
 from repro.sim.engine import Engine
 from repro.sim.stats import StatGroup
@@ -45,8 +46,42 @@ class HostController:
             for i in range(config.links)
         ]
         device.set_deliver_fn(self._respond_from_cube)
-        #: observability hook (repro.obs.Tracer); one None check per packet
-        self.tracer = None
+        #: instrumentation site (repro.obs.hooks), rebound at wiring time
+        self._tracer = None
+        self._emit_link_tx = noop
+        #: recycle delivered requests through the MemoryRequest pool; the
+        #: System enables this only when it can prove single ownership
+        #: (no request recording, no cache hierarchy holding MSHR refs)
+        self.recycle_requests = False
+        # packet sizes depend only on (kind, line_bytes, header_bytes):
+        # resolve the four combinations once instead of per packet
+        line = config.line_bytes
+        hdr = config.request_header_bytes
+        self._req_bytes = (
+            packet_bytes(PacketKind.READ_REQUEST, line, hdr),
+            packet_bytes(PacketKind.WRITE_REQUEST, line, hdr),
+        )
+        self._resp_bytes = (
+            packet_bytes(PacketKind.READ_RESPONSE, line, hdr),
+            packet_bytes(PacketKind.WRITE_RESPONSE, line, hdr),
+        )
+        # Decode constants mirrored out of AddressMapping: send() runs the
+        # shift/mask arithmetic inline rather than building a DecodedAddress
+        # per request (mapping.decode stays the public/validating API).
+        m = self.mapping
+        self._v_shift, self._v_mask = m.vault_shift, m.vault_mask
+        self._b_shift, self._b_mask = m.bank_shift, m.bank_mask
+        self._c_shift, self._c_mask = m.column_shift, m.column_mask
+        self._r_shift = m.row_shift
+        self._nlinks = len(self.links)
+        self._energy = device.energy
+        # Hot-path mirrors for the inlined crossbar traversal and the
+        # response-side crossbar charge (device.inject / Crossbar.route hold
+        # the reference semantics; vaults respond with bank-side ready
+        # cycles, see HMCDevice.set_deliver_fn).
+        self._xbar = device.crossbar
+        self._vault_receive = [vc.receive for vc in device.vaults]
+        self._resp_xbar = config.crossbar_latency
         self.stats = StatGroup("host")
         self._c_reads = self.stats.counter("reads_sent")
         self._c_writes = self.stats.counter("writes_sent")
@@ -58,6 +93,18 @@ class HostController:
         )
 
     # ------------------------------------------------------------------
+    # Instrumentation (see repro.obs.hooks)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._emit_link_tx = tracer.link_tx if tracer is not None else noop
+
+    # ------------------------------------------------------------------
     # Request path (core -> cube)
     # ------------------------------------------------------------------
     def _link_for(self, vault: int) -> SerialLink:
@@ -65,53 +112,145 @@ class HostController:
 
     def send(self, req: MemoryRequest) -> None:
         """Packetize and transmit one request at ``engine.now``."""
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         req.host_cycle = now
-        d = self.mapping.decode(req.addr)
-        req.vault, req.bank, req.row, req.column = d.vault, d.bank, d.row, d.column
-        kind = PacketKind.WRITE_REQUEST if req.is_write else PacketKind.READ_REQUEST
-        nbytes = packet_bytes(kind, self.config.line_bytes, self.config.request_header_bytes)
-        link = self._link_for(req.vault)
-        arrival, flits = link.request.send(now, nbytes)
-        if self.tracer is not None:
-            self.tracer.link_tx(link.link_id, "req", nbytes, now, arrival)
-        self.device.energy.charge_link_flits(flits)
-        if req.is_write:
-            self._c_writes.inc()
+        addr = req.addr
+        req.vault = vault = (addr >> self._v_shift) & self._v_mask
+        req.bank = (addr >> self._b_shift) & self._b_mask
+        req.row = addr >> self._r_shift
+        req.column = (addr >> self._c_shift) & self._c_mask
+        is_write = req.is_write
+        nbytes = self._req_bytes[is_write]
+        link = self.links[vault % self._nlinks]
+        d = link.request
+        # Fault-free serialization inlined (LinkDirection.send holds the
+        # reference semantics and remains the retry/cache-miss slow path).
+        cached = d._ser_cache.get(nbytes) if d.retry is None else None
+        if cached is not None:
+            busy = d.busy_until
+            start = now if now > busy else busy
+            ser, flits = cached
+            d.busy_until = end = start + ser
+            d.busy_cycles += ser
+            d.packets += 1
+            d.bytes_sent += nbytes
+            d.flits_sent += flits
+            arrival = end + d.serdes_latency
         else:
-            self._c_reads.inc()
-        self.device.inject(req, arrival)
+            arrival, flits = d.send(now, nbytes)
+        emit = self._emit_link_tx
+        if emit is not noop:
+            emit(link.link_id, "req", nbytes, now, arrival)
+        self._energy.link_flits += flits
+        if is_write:
+            self._c_writes.value += 1
+        else:
+            self._c_reads.value += 1
+        # Crossbar traversal inlined the same way (see __init__ mirrors).
+        xbar = self._xbar
+        port_busy = xbar._port_busy
+        start = port_busy[vault]
+        if start > arrival:
+            xbar.port_conflicts += 1
+        else:
+            start = arrival
+        port_busy[vault] = start + xbar.port_cycle
+        xbar.traversals += 1
+        engine.call_at(start + xbar.latency, self._vault_receive[vault], req)
 
     # ------------------------------------------------------------------
     # Response path (cube -> core)
     # ------------------------------------------------------------------
     def _respond_from_cube(self, req: MemoryRequest, ready: int) -> None:
-        # Serialization must be reserved when the data is actually ready -
-        # reserving at call time would let far-future completions (e.g.
-        # in-flight prefetch hits) block earlier responses on the link.
-        self.engine.schedule_at(max(ready, self.engine.now), self._tx_response, req)
+        # ``ready`` is the bank-side cycle; the response crossbar traversal
+        # is charged here (see HMCDevice.set_deliver_fn).  Serialization must
+        # be reserved when the data is actually ready - reserving at call
+        # time would let far-future completions (e.g. in-flight prefetch
+        # hits) block earlier responses on the link.
+        engine = self.engine
+        now = engine.now
+        t = ready + self._resp_xbar
+        engine.call_at(t if t > now else now, self._tx_response, req)
 
     def _tx_response(self, req: MemoryRequest) -> None:
-        kind = PacketKind.WRITE_RESPONSE if req.is_write else PacketKind.READ_RESPONSE
-        nbytes = packet_bytes(kind, self.config.line_bytes, self.config.request_header_bytes)
-        link = self._link_for(req.vault)
-        arrival, flits = link.response.send(self.engine.now, nbytes)
-        if self.tracer is not None:
-            self.tracer.link_tx(link.link_id, "resp", nbytes, self.engine.now, arrival)
-        self.device.energy.charge_link_flits(flits)
-        self.engine.schedule_at(arrival, self._deliver, req)
+        engine = self.engine
+        now = engine.now
+        nbytes = self._resp_bytes[req.is_write]
+        link = self.links[req.vault % self._nlinks]
+        d = link.response
+        # Fault-free serialization inlined; same shape as send().
+        cached = d._ser_cache.get(nbytes) if d.retry is None else None
+        if cached is not None:
+            busy = d.busy_until
+            start = now if now > busy else busy
+            ser, flits = cached
+            d.busy_until = end = start + ser
+            d.busy_cycles += ser
+            d.packets += 1
+            d.bytes_sent += nbytes
+            d.flits_sent += flits
+            arrival = end + d.serdes_latency
+        else:
+            arrival, flits = d.send(now, nbytes)
+        emit = self._emit_link_tx
+        if emit is not noop:
+            emit(link.link_id, "resp", nbytes, now, arrival)
+        self._energy.link_flits += flits
+        engine.call_at(arrival, self._deliver, req)
 
     def _deliver(self, req: MemoryRequest) -> None:
-        req.complete_cycle = self.engine.now
-        self._c_done.inc()
-        lat = req.latency
-        self.latency_hist.add(lat)
+        now = self.engine.now
+        req.complete_cycle = now
+        self._c_done.value += 1
+        lat = now - req.issue_cycle
+        # Histogram.add inlined for the per-delivery samples (Histogram.add
+        # holds the reference semantics; identical operation order keeps the
+        # Welford running moments bit-identical to the method path).
+        h = self.latency_hist
+        idx = lat // h.bin_width
+        nb = h.nbins
+        if idx >= nb:
+            idx = nb - 1
+        elif idx < 0:
+            idx = 0
+        h._counts[idx] += 1
+        h._n = n = h._n + 1
+        delta = lat - h._mean
+        h._mean = mean = h._mean + delta / n
+        h._m2 += delta * (lat - mean)
+        if h._min is None or lat < h._min:
+            h._min = float(lat)
+        if h._max is None or lat > h._max:
+            h._max = float(lat)
         if not req.is_write:
-            self.read_latency_hist.add(lat)
+            h = self.read_latency_hist
+            idx = lat // h.bin_width
+            nb = h.nbins
+            if idx >= nb:
+                idx = nb - 1
+            elif idx < 0:
+                idx = 0
+            h._counts[idx] += 1
+            h._n = n = h._n + 1
+            delta = lat - h._mean
+            h._mean = mean = h._mean + delta / n
+            h._m2 += delta * (lat - mean)
+            if h._min is None or lat < h._min:
+                h._min = float(lat)
+            if h._max is None or lat > h._max:
+                h._max = float(lat)
         if self.record_requests:
             self.completed_requests.append(req)
-        if req.callback is not None:
-            req.callback(req)
+        cb = req.callback
+        if cb is not None:
+            cb(req)
+        if self.recycle_requests:
+            # MemoryRequest.release inlined (the classmethod remains the
+            # reference for non-hot callers).
+            req.callback = None
+            req.meta = None
+            MemoryRequest._pool.append(req)
 
     # ------------------------------------------------------------------
     # Reporting

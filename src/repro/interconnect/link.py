@@ -18,9 +18,10 @@ Delivery is still guaranteed; faults cost cycles and wire flits, never data.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.faults import LinkFaultConfig, LinkFaultInjector, RetryBuffer
+from repro.obs.hooks import noop
 
 
 class LinkDirection:
@@ -37,7 +38,10 @@ class LinkDirection:
         "flits_sent",
         "busy_cycles",
         "retry",
-        "tracer",
+        "_tracer",
+        "_emit_retry",
+        "_emit_retrain",
+        "_ser_cache",
     )
 
     def __init__(
@@ -61,7 +65,25 @@ class LinkDirection:
         self.flits_sent = 0
         self.busy_cycles = 0
         self.retry: Optional[RetryBuffer] = None
-        self.tracer = None
+        self._tracer = None
+        self._emit_retry = noop
+        self._emit_retrain = noop
+        # packet sizes repeat (request/response are each one size), so the
+        # ceil-division pair is memoised per nbytes
+        self._ser_cache: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Instrumentation (see repro.obs.hooks)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._emit_retry = tracer.link_retry if tracer is not None else noop
+        self._emit_retrain = tracer.link_retrain if tracer is not None else noop
 
     def send(self, at: int, nbytes: int) -> Tuple[int, int]:
         """Serialize ``nbytes`` starting no earlier than ``at``.
@@ -70,11 +92,20 @@ class LinkDirection:
         delivered at the far end, and how many flits crossed the wire
         (replays included - the energy model charges every wire crossing).
         """
-        if nbytes < 1:
-            raise ValueError("nbytes must be >= 1")
-        start = max(at, self.busy_until)
-        ser = max(1, math.ceil(nbytes / self.bytes_per_cycle))
-        flits = max(1, math.ceil(nbytes / self.flit_bytes))
+        busy = self.busy_until
+        start = at if at > busy else busy
+        cached = self._ser_cache.get(nbytes)
+        if cached is None:
+            # Validation lives on the cache-miss path: every distinct nbytes
+            # is checked exactly once, the steady state pays nothing.
+            if nbytes < 1:
+                raise ValueError("nbytes must be >= 1")
+            cached = (
+                max(1, math.ceil(nbytes / self.bytes_per_cycle)),
+                max(1, math.ceil(nbytes / self.flit_bytes)),
+            )
+            self._ser_cache[nbytes] = cached
+        ser, flits = cached
         occupancy = ser
         wire_flits = flits
         retry = self.retry
@@ -86,11 +117,9 @@ class LinkDirection:
                 wire_flits += replays * flits
                 if retrained:
                     occupancy += cfg.retrain_latency
-                tracer = self.tracer
-                if tracer is not None:
-                    tracer.link_retry(self.name, replays, nbytes, start)
-                    if retrained:
-                        tracer.link_retrain(self.name, start)
+                self._emit_retry(self.name, replays, nbytes, start)
+                if retrained:
+                    self._emit_retrain(self.name, start)
         self.busy_until = start + occupancy
         self.busy_cycles += occupancy
         self.packets += 1

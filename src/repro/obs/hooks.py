@@ -1,0 +1,30 @@
+"""Zero-cost instrumentation: the shared no-op emit target.
+
+Instrumented components do not test ``if self.tracer is not None`` on hot
+paths.  Instead each component exposes ``tracer`` as a property whose setter
+rebinds one per-site emit attribute per hook to either a *bound tracer
+method* (tracing on) or :func:`noop` (tracing off), resolved once at wiring
+time.  The hot path then pays exactly one attribute load + one call, and the
+disabled path executes no branches at all.
+
+Contract for new components (see docs/API.md, "Instrumentation contract"):
+
+1. Store the tracer in a private ``_tracer`` attribute; expose it through a
+   ``tracer`` property so :meth:`repro.obs.tracer.Tracer.wire_system`'s plain
+   ``component.tracer = self`` assignment triggers the rebind.
+2. In the setter, rebind every emit attribute:
+   ``self._emit_x = tracer.x if tracer is not None else noop``.
+3. Call ``self._emit_x(...)`` unconditionally at the hook site - never guard
+   it with a tracer check.
+4. Initialise ``_tracer = None`` and run the rebind once in ``__init__`` so
+   the attributes exist before wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def noop(*args: Any, **kwargs: Any) -> None:
+    """Do-nothing emit target bound into unwired instrumentation sites."""
+    return None

@@ -10,13 +10,35 @@ component is a plain object that schedules callbacks.  Profiling showed a
 callback-based heap loop to be roughly 3x faster in CPython than a
 generator-based process model for this workload mix, and the hot loop below
 avoids attribute lookups accordingly.
+
+Two hot-path choices are worth naming because they are invisible in the API:
+
+* Heap entries are ``(time, priority, seq, event)`` tuples, not Event
+  objects.  Tuple ordering is resolved in C; an object heap would route
+  every sift comparison through ``Event.__lt__`` (the single hottest
+  function before the change).
+* Fired and cancelled-and-popped events are recycled through a per-engine
+  freelist (weak refresh events included), so steady state allocates no
+  Event objects at all.  The price is that an :class:`Event` handle is
+  **single-use**: once it has fired, or once a cancelled handle's turn in
+  the heap has passed, the object may be reissued for an unrelated
+  callback, and a retained reference goes stale.  Cancel an event only
+  while it is still pending - the one supported pattern is
+  cancel-then-immediately-reschedule (see ``VaultController._arm_wake``).
+* Fire-and-forget callbacks (the vast majority: link deliveries, bank
+  completions, core wakeups) go through :meth:`Engine.call_at`, which heaps
+  a bare ``(time, priority, seq, fn, args)`` tuple with **no Event object
+  at all** - nothing to pool, reset, or recycle.  Such entries cannot be
+  cancelled and are never weak; use :meth:`Engine.schedule` /
+  :meth:`Engine.schedule_at` when a handle is needed.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 
 class Event:
@@ -29,6 +51,9 @@ class Event:
     *Weak* events (periodic background work such as DRAM refresh) do not keep
     the simulation alive: :meth:`Engine.run` stops once only weak events
     remain pending.
+
+    Handles are pooled (see the module docstring): drop the reference once
+    the event has fired or been cancelled.
     """
 
     __slots__ = (
@@ -69,8 +94,9 @@ class Event:
         if not self.cancelled and not self.fired:
             self.cancelled = True
             if self._engine is not None:
-                self._engine._live -= 1
-                if not self.weak:
+                if self.weak:
+                    self._engine._weak_live -= 1
+                else:
                     self._engine._strong -= 1
 
     def __lt__(self, other: "Event") -> bool:
@@ -83,6 +109,13 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time} prio={self.priority} {state} fn={self.fn!r}>"
+
+
+#: type of one heap entry: ``(time, priority, seq, event)`` for handled
+#: events, or ``(time, priority, seq, fn, args)`` for handle-free call_at()
+#: entries (distinguished by length).  Slots past ``seq`` never participate
+#: in the tuple comparison because ``seq`` (slot 2) is unique.
+_HeapEntry = Tuple[Any, ...]
 
 
 class Engine:
@@ -99,12 +132,17 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq: int = 0
-        self._strong: int = 0  # pending non-weak, non-cancelled events
-        self._live: int = 0  # pending non-cancelled events (weak included)
+        # Pending non-cancelled events, split by strength so the hot paths
+        # touch exactly one counter (``pending`` reports the sum).
+        self._strong: int = 0
+        self._weak_live: int = 0
         self._events_fired: int = 0
         self._running = False
+        #: freelist of recycled Event objects (fired, or cancelled and
+        #: popped); both schedule paths - strong and weak - draw from it
+        self._pool: List[Event] = []
         #: attached observability tracer (repro.obs.Tracer) or None; per-event
         #: span recording only happens when the tracer asks for engine_spans
         self.tracer = None
@@ -134,9 +172,28 @@ class Engine:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(
-            self.now + delay, fn, *args, priority=priority, weak=weak
-        )
+        time = int(self.now + delay)
+        seq = self._seq + 1
+        self._seq = seq
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.fired = False
+            ev.weak = weak
+        else:
+            ev = Event(time, priority, seq, fn, args, weak=weak, engine=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
+        if weak:
+            self._weak_live += 1
+        else:
+            self._strong += 1
+        return ev
 
     def schedule_at(
         self,
@@ -151,13 +208,53 @@ class Engine:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self.now})"
             )
-        self._seq += 1
-        ev = Event(int(time), priority, self._seq, fn, args, weak=weak, engine=self)
-        heapq.heappush(self._heap, ev)
-        self._live += 1
-        if not weak:
+        time = int(time)
+        seq = self._seq + 1
+        self._seq = seq
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.fired = False
+            ev.weak = weak
+        else:
+            ev = Event(time, priority, seq, fn, args, weak=weak, engine=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
+        if weak:
+            self._weak_live += 1
+        else:
             self._strong += 1
         return ev
+
+    def call_at(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``fn(*args)`` at absolute cycle ``time``, handle-free.
+
+        The fire-and-forget fast path: no :class:`Event` is created (the
+        heap holds a bare ``(time, priority, seq, fn, args)`` tuple), so the
+        call cannot be cancelled and never counts as weak.  Ordering is
+        identical to :meth:`schedule_at` with the same arguments - both draw
+        ``seq`` from the same counter.  ``time`` must already be an integer
+        cycle: unlike the schedule paths, no ``int()`` coercion is applied.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        seq = self._seq + 1
+        self._seq = seq
+        heapq.heappush(self._heap, (time, priority, seq, fn, args))
+        self._strong += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -171,6 +268,8 @@ class Engine:
         self._running = True
         fired = 0
         heap = self._heap
+        pool = self._pool
+        heappop = heapq.heappop
         # Hoisted per-run: when no tracer wants spans, the loop pays one
         # falsy check per event and nothing else.
         tracer = self.tracer
@@ -180,31 +279,111 @@ class Engine:
         wd_interval = watchdog.interval if watchdog is not None else 0
         wd_count = 0
         t0 = perf_counter()
+        # Generational GC only burns cycles here: the event/request pools
+        # remove the allocation churn that would trigger it, and the graphs
+        # the simulation does build (deques, tuples) die at run end anyway.
+        # State-restoring, so a run() nested via another engine stays correct.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
+            if until is None and max_events is None and not spans and not wd_interval:
+                # Fast loop for the dominant configuration (plain run() with
+                # no limit, spans, or watchdog): identical semantics to the
+                # general loop below minus the per-event limit checks.
+                # ``strong`` mirrors self._strong in a local; it is written
+                # back before every callback (which may schedule) and
+                # re-read after, so the attribute stays authoritative.
+                strong = self._strong
+                while heap and strong:
+                    entry = heappop(heap)
+                    if len(entry) == 5:
+                        # handle-free call_at() entry: nothing to cancel,
+                        # nothing to recycle
+                        self.now = entry[0]
+                        self._strong = strong = strong - 1
+                        fired += 1
+                        entry[3](*entry[4])
+                        strong = self._strong
+                        continue
+                    ev = entry[3]
+                    if ev.cancelled:
+                        ev.fn = None
+                        ev.args = ()
+                        pool.append(ev)
+                        continue
+                    self.now = entry[0]
+                    if ev.weak:
+                        self._weak_live -= 1
+                    else:
+                        self._strong = strong = strong - 1
+                    ev.fired = True
+                    fn = ev.fn
+                    args = ev.args
+                    fired += 1
+                    fn(*args)
+                    strong = self._strong
+                    ev.fn = None
+                    ev.args = ()
+                    pool.append(ev)
+                return fired
             while heap:
                 if until is None and self._strong == 0:
                     break  # only weak (background) events remain
-                ev = heap[0]
-                if until is not None and ev.time > until:
+                entry = heap[0]
+                time = entry[0]
+                if until is not None and time > until:
                     self.now = until
                     break
-                heapq.heappop(heap)
+                heappop(heap)
+                if len(entry) == 5:
+                    # handle-free call_at() entry (see the fast loop above)
+                    if max_events is not None and fired >= max_events:
+                        heapq.heappush(heap, entry)
+                        break
+                    self.now = time
+                    self._strong -= 1
+                    fn = entry[3]
+                    if spans:
+                        tracer.engine_fire(time, fn)
+                    fired += 1
+                    fn(*entry[4])
+                    if wd_interval:
+                        wd_count += 1
+                        if wd_count >= wd_interval:
+                            wd_count = 0
+                            watchdog.poll(self.now)
+                    continue
+                ev = entry[3]
                 if ev.cancelled:
+                    ev.fn = None
+                    ev.args = ()
+                    pool.append(ev)
                     continue
                 if max_events is not None and fired >= max_events:
-                    heapq.heappush(heap, ev)
+                    heapq.heappush(heap, entry)
                     break
-                self.now = ev.time
-                self._live -= 1
-                if not ev.weak:
+                self.now = time
+                if ev.weak:
+                    self._weak_live -= 1
+                else:
                     self._strong -= 1
                 ev.fired = True
+                fn = ev.fn
+                args = ev.args
                 if spans:
-                    tracer.engine_fire(ev.time, ev.fn)
+                    tracer.engine_fire(time, fn)
                 # Counted before the call so a raising callback still shows
                 # up in events_fired (crash reports rely on the count).
                 fired += 1
-                ev.fn(*ev.args)
+                fn(*args)
+                # Recycle only after the callback returns: a raising callback
+                # leaves its event out of the pool, preserving it for crash
+                # reports.  ``fired`` stays True until the handle is reissued,
+                # so a late cancel() on the stale handle is still a no-op.
+                ev.fn = None
+                ev.args = ()
+                pool.append(ev)
                 if wd_interval:
                     wd_count += 1
                     if wd_count >= wd_interval:
@@ -214,6 +393,8 @@ class Engine:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
+            if gc_was_enabled:
+                gc.enable()
             self._running = False
             self.wall_seconds += perf_counter() - t0
             # Inside the finally so a watchdog/callback exception still
@@ -236,7 +417,12 @@ class Engine:
         scan: components poll this property while the heap holds thousands
         of events, and the O(n) sweep showed up in profiles.
         """
-        return self._live
+        return self._strong + self._weak_live
+
+    @property
+    def pool_size(self) -> int:
+        """Recycled Event objects currently waiting for reuse."""
+        return len(self._pool)
 
     @property
     def events_fired(self) -> int:
@@ -251,9 +437,28 @@ class Engine:
 
     def peek_time(self) -> Optional[int]:
         """Cycle of the next live event, or None when drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        pool = self._pool
+        while heap:
+            head = heap[0]
+            if len(head) == 5 or not head[3].cancelled:
+                return head[0]
+            ev = heapq.heappop(heap)[3]
+            ev.fn = None
+            ev.args = ()
+            pool.append(ev)
+        return None
+
+    def live_events(self) -> Iterator[Event]:
+        """Snapshot of pending (non-cancelled) events, in no particular
+        order.  Diagnostic use only (integrity layer, crash reports):
+        handle-free call_at() entries are surfaced as transient Event views
+        that are not connected to the heap (cancelling one has no effect)."""
+        for entry in self._heap:
+            if len(entry) == 5:
+                yield Event(entry[0], entry[1], entry[2], entry[3], entry[4])
+            elif not entry[3].cancelled:
+                yield entry[3]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self.now} pending={len(self._heap)}>"

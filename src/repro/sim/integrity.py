@@ -148,8 +148,8 @@ class Watchdog:
         engine = self.engine
         now = engine.now
         histogram: Dict[str, int] = {}
-        for ev in engine._heap:
-            if ev.cancelled or ev.time != now:
+        for ev in engine.live_events():
+            if ev.time != now:
                 continue
             name = getattr(ev.fn, "__qualname__", None) or repr(ev.fn)
             histogram[name] = histogram.get(name, 0) + 1
@@ -256,7 +256,7 @@ def crash_report(
         },
     }
     next_events = []
-    for ev in sorted(e for e in engine._heap if not e.cancelled)[:10]:
+    for ev in sorted(engine.live_events())[:10]:
         next_events.append(
             {
                 "time": ev.time,

@@ -1,0 +1,117 @@
+"""Per-subsystem attribution of cProfile data.
+
+The profiler gives per-function rows; what a perf investigation actually
+wants first is "where does the time go per *subsystem*" - engine loop vs
+FR-FCFS scheduler vs bank timing vs prefetcher decision logic vs
+instrumentation.  This module maps profile rows onto the repo's subsystem
+layout by filename and aggregates them, for two consumers:
+
+* ``python -m repro profile`` prints the table (and ``--json`` emits it
+  machine-readable), so a regression can be localised without reading raw
+  pstats output.
+* ``benchmarks/bench_hotpath.py`` embeds the breakdown in
+  ``BENCH_hotpath.json`` so the committed perf pin records not just how fast
+  the hot loop was but *where* it spent its time when pinned.
+
+Attribution rules: a function belongs to the first subsystem whose path
+fragment matches its source file.  ``tottime`` (exclusive time) is additive
+- the subsystem rows sum to the profiled total - while ``cumtime`` is
+reported as the largest single-function cumulative time in the subsystem
+(its dominant entry point); summing cumtime across functions would double
+count nested calls within a subsystem.
+"""
+
+from __future__ import annotations
+
+import pstats
+from typing import Any, Dict, List, Tuple
+
+#: ordered (subsystem, path fragments) - first match wins.  The fragments
+#: use forward slashes; profile filenames are normalised before matching.
+SUBSYSTEM_PATHS: List[Tuple[str, Tuple[str, ...]]] = [
+    ("engine", ("/sim/engine.py",)),
+    ("scheduler", ("/vault/scheduler.py",)),
+    ("vault", ("/vault/",)),  # controller + queues (scheduler matched above)
+    ("bank", ("/dram/",)),
+    (
+        "prefetcher",
+        (
+            "/core/camps.py",
+            "/core/prefetcher.py",
+            "/core/tables.py",
+            "/core/buffer.py",
+            "/core/schemes.py",
+        ),
+    ),
+    ("tracer", ("/obs/",)),
+    ("host", ("/hmc/", "/interconnect/", "/request.py",)),
+    ("core", ("/cpu/", "/system.py",)),
+    ("stats", ("/sim/stats.py", "/metrics/",)),
+]
+
+OTHER = "other"
+
+
+def classify(filename: str) -> str:
+    """Subsystem name for one profile-row source file."""
+    path = filename.replace("\\", "/")
+    for name, fragments in SUBSYSTEM_PATHS:
+        for frag in fragments:
+            if frag in path:
+                return name
+    return OTHER
+
+
+def subsystem_breakdown(profiler: Any) -> Dict[str, Dict[str, float]]:
+    """Aggregate a ``cProfile.Profile`` (or ``pstats.Stats``) by subsystem.
+
+    Returns ``{subsystem: {"calls": int, "tottime_s": float,
+    "cumtime_s": float}}`` sorted by descending exclusive time.
+    ``tottime_s`` values are additive across subsystems; ``cumtime_s`` is
+    the dominant entry point's cumulative time (see module docstring).
+    """
+    stats = profiler if isinstance(profiler, pstats.Stats) else pstats.Stats(profiler)
+    agg: Dict[str, Dict[str, float]] = {}
+    for (filename, _lineno, _fname), (_cc, ncalls, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        name = classify(filename)
+        row = agg.setdefault(name, {"calls": 0, "tottime_s": 0.0, "cumtime_s": 0.0})
+        row["calls"] += ncalls
+        row["tottime_s"] += tottime
+        if cumtime > row["cumtime_s"]:
+            row["cumtime_s"] = cumtime
+    return dict(
+        sorted(agg.items(), key=lambda kv: kv[1]["tottime_s"], reverse=True)
+    )
+
+
+def breakdown_table(breakdown: Dict[str, Dict[str, float]]) -> str:
+    """Human-readable table of :func:`subsystem_breakdown` output."""
+    total = sum(row["tottime_s"] for row in breakdown.values()) or 1.0
+    lines = [f"{'subsystem':<12} {'calls':>10} {'tottime':>9} {'share':>7} {'cumtime':>9}"]
+    for name, row in breakdown.items():
+        lines.append(
+            f"{name:<12} {int(row['calls']):>10} {row['tottime_s']:>8.3f}s "
+            f"{row['tottime_s'] / total:>6.1%} {row['cumtime_s']:>8.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def profile_payload(
+    breakdown: Dict[str, Dict[str, float]],
+    *,
+    cycles: int,
+    events_fired: int,
+    wall_seconds: float,
+) -> Dict[str, Any]:
+    """The machine-readable profile summary shared by ``repro profile
+    --json`` and ``bench_hotpath.py`` (which embeds it verbatim)."""
+    return {
+        "cycles": cycles,
+        "events_fired": events_fired,
+        "wall_seconds": wall_seconds,
+        "cycles_per_sec": cycles / wall_seconds if wall_seconds else 0.0,
+        "events_per_sec": events_fired / wall_seconds if wall_seconds else 0.0,
+        "subsystems": breakdown,
+    }

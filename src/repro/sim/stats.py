@@ -46,27 +46,36 @@ class Histogram:
     exactly (Welford) regardless of binning.
     """
 
-    __slots__ = ("name", "bin_width", "counts", "_n", "_mean", "_m2", "_min", "_max")
+    __slots__ = ("name", "bin_width", "nbins", "_counts", "_n", "_mean", "_m2", "_min", "_max")
 
     def __init__(self, name: str, nbins: int = 64, bin_width: int = 16) -> None:
         if nbins < 1 or bin_width < 1:
             raise ValueError("nbins and bin_width must be >= 1")
         self.name = name
         self.bin_width = bin_width
-        self.counts = np.zeros(nbins, dtype=np.int64)
+        self.nbins = nbins
+        # a plain list: incrementing one NumPy array element boxes a scalar
+        # per sample, which dominated Histogram.add in the hot-loop profile
+        self._counts: List[int] = [0] * nbins
         self._n = 0
         self._mean = 0.0
         self._m2 = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
 
+    @property
+    def counts(self) -> np.ndarray:
+        """Bin counts as a NumPy array (a copy; accumulate via :meth:`add`)."""
+        return np.asarray(self._counts, dtype=np.int64)
+
     def add(self, sample: Number) -> None:
         idx = int(sample) // self.bin_width
-        if idx >= len(self.counts):
-            idx = len(self.counts) - 1
+        nbins = self.nbins
+        if idx >= nbins:
+            idx = nbins - 1
         elif idx < 0:
             idx = 0
-        self.counts[idx] += 1
+        self._counts[idx] += 1
         self._n += 1
         delta = sample - self._mean
         self._mean += delta / self._n
@@ -107,13 +116,13 @@ class Histogram:
         if self._n == 0:
             return 0.0
         target = self._n * q / 100.0
-        cum = np.cumsum(self.counts)
+        cum = np.cumsum(self._counts)
         idx = int(np.searchsorted(cum, target, side="left"))
-        idx = min(idx, len(self.counts) - 1)
+        idx = min(idx, self.nbins - 1)
         return (idx + 0.5) * self.bin_width
 
     def reset(self) -> None:
-        self.counts[:] = 0
+        self._counts = [0] * self.nbins
         self._n = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -184,9 +193,9 @@ class StatGroup:
         for name, c in other._counters.items():
             self.counter(name).inc(c.value)
         for name, h in other._histograms.items():
-            mine = self.histogram(name, nbins=len(h.counts), bin_width=h.bin_width)
-            if len(mine.counts) == len(h.counts) and mine.bin_width == h.bin_width:
-                mine.counts += h.counts
+            mine = self.histogram(name, nbins=h.nbins, bin_width=h.bin_width)
+            if mine.nbins == h.nbins and mine.bin_width == h.bin_width:
+                mine._counts = [a + b for a, b in zip(mine._counts, h._counts)]
             # merge running moments via pooled update
             n1, n2 = mine._n, h._n
             if n2:

@@ -48,20 +48,36 @@ class DirectPort(MemoryPort):
         addr: int,
         on_fill: Callable[[MemoryRequest], None],
     ) -> Optional[int]:
-        req = MemoryRequest(
-            addr=addr,
-            is_write=False,
-            core_id=core_id,
-            issue_cycle=self.engine.now,
-            callback=on_fill,
-        )
+        # MemoryRequest.acquire inlined: this runs once per traced load and
+        # the classmethod frame was visible in the hot-loop profile.
+        pool = MemoryRequest._pool
+        if pool:
+            req = pool.pop()
+            MemoryRequest._next_id = rid = MemoryRequest._next_id + 1
+            req.req_id = rid
+            req.addr = addr
+            req.is_write = False
+            req.core_id = core_id
+            req.issue_cycle = self.engine.now
+            req.callback = on_fill
+        else:
+            req = MemoryRequest(addr, False, core_id, self.engine.now, on_fill)
         self.host.send(req)
         return None
 
     def store(self, core_id: int, addr: int) -> None:
-        req = MemoryRequest(
-            addr=addr, is_write=True, core_id=core_id, issue_cycle=self.engine.now
-        )
+        pool = MemoryRequest._pool
+        if pool:
+            req = pool.pop()
+            MemoryRequest._next_id = rid = MemoryRequest._next_id + 1
+            req.req_id = rid
+            req.addr = addr
+            req.is_write = True
+            req.core_id = core_id
+            req.issue_cycle = self.engine.now
+            req.callback = None
+        else:
+            req = MemoryRequest(addr, True, core_id, self.engine.now)
         self.host.send(req)
 
 
@@ -203,6 +219,11 @@ class System:
             port = HierarchyPort(self.hierarchy, self.engine)
         else:
             port = DirectPort(self.host, self.engine)
+            # Post-LLC front-end with no request recording: the host is the
+            # last holder of a delivered request (core fills ignore the
+            # object), so completed requests recycle through the pool.
+            if not self.config.record_requests:
+                self.host.recycle_requests = True
         self.cores: List[Core] = [
             Core(
                 core_id=i,

@@ -31,6 +31,7 @@ from repro.core.prefetcher import PrefetchAction, Prefetcher
 from repro.dram.bank import AccessKind, AccessResult, Bank
 from repro.dram.bus import TsvBus
 from repro.hmc.config import HMCConfig
+from repro.obs.hooks import noop
 from repro.request import MemoryRequest, ServiceSource
 from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatGroup
@@ -41,7 +42,7 @@ RespondFn = Callable[[MemoryRequest, int], None]
 
 
 def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 class VaultController:
@@ -80,6 +81,13 @@ class VaultController:
         self.scheduler = FRFCFSScheduler(self.banks, self.queues)
         self.prefetcher = prefetcher
         prefetcher.bind(self)
+        # The base Prefetcher.on_buffer_hit is a documented no-op; resolve
+        # that once so the buffer-hit path never pays the empty call.  Any
+        # subclass override is bound here and called normally.
+        obh = prefetcher.on_buffer_hit
+        self._on_buffer_hit = (
+            None if getattr(obh, "__func__", None) is Prefetcher.on_buffer_hit else obh
+        )
         self.buffer: Optional[PrefetchBuffer] = None
         if prefetcher.uses_buffer:
             self.buffer = PrefetchBuffer(
@@ -87,9 +95,11 @@ class VaultController:
                 lines_per_row=config.lines_per_row,
                 policy=prefetcher.make_policy(),
             )
-        #: observability hook (repro.obs.Tracer); every use is guarded by a
-        #: single None check so an untraced run pays one attribute load
-        self.tracer = None
+        #: instrumentation sites (repro.obs.hooks): rebound once per tracer
+        #: assignment so hot paths never branch on tracer presence
+        self._tracer = None
+        self._rebind_hooks()
+        self._pf_hit_latency = config.pf_hit_latency
         self.stats = StatGroup(f"vault{vault_id}")
         self._c_reads = self.stats.counter("demand_reads")
         self._c_writes = self.stats.counter("demand_writes")
@@ -110,24 +120,72 @@ class VaultController:
                 )
 
     # ------------------------------------------------------------------
+    # Instrumentation (see repro.obs.hooks)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        if tracer is not None:
+            self._emit_pf_hit = tracer.prefetch_hit
+            self._emit_pf_issue = tracer.prefetch_issue
+            self._emit_pf_fill = tracer.prefetch_fill
+            self._emit_pf_evict = tracer.prefetch_evict
+            self._emit_buf_replace = tracer.buffer_replace
+        else:
+            self._rebind_hooks()
+
+    def _rebind_hooks(self) -> None:
+        self._emit_pf_hit = noop
+        self._emit_pf_issue = noop
+        self._emit_pf_fill = noop
+        self._emit_pf_evict = noop
+        self._emit_buf_replace = noop
+
+    # ------------------------------------------------------------------
     # External interface (called by the HMC device)
     # ------------------------------------------------------------------
     def receive(self, req: MemoryRequest) -> None:
         """A request packet arrived from the crossbar at ``engine.now``."""
         now = self.engine.now
         req.vault_arrive_cycle = now
-        if self.buffer is not None:
-            entry = self.buffer.lookup(req.bank, req.row, req.column, req.is_write)
+        buf = self.buffer
+        if buf is not None:
+            # PrefetchBuffer.lookup inlined (buffer.py keeps the reference
+            # implementation): the probe runs once per demand packet, and
+            # the miss half is one dict get plus a bit test.  ``_entries``
+            # is bound once in PrefetchBuffer.__init__ and only mutated in
+            # place, so probing it directly is safe.
+            entry = buf._entries.get((req.bank, req.row))
+            bit = 1 << req.column
+            if entry is None or not (entry.valid_mask & bit):
+                buf.misses += 1
+                entry = None
+            else:
+                buf.hits += 1
+                if not (entry.served_mask & bit):
+                    entry.served_mask |= bit
+                    buf.lines_used += 1
+                entry.ref_mask |= bit
+                entry.accesses += 1
+                if req.is_write:
+                    entry.dirty_mask |= bit
+                buf._make_mru(entry, entry.recency)
             if entry is not None:
-                in_flight = entry.ready_time > now
+                ready = entry.ready_time
+                in_flight = ready > now
                 if in_flight:
                     req.source = ServiceSource.ROW_IN_FLIGHT
-                    self._c_buf_inflight.inc()
+                    self._c_buf_inflight.value += 1
                 else:
                     req.source = ServiceSource.PREFETCH_BUFFER
-                self._c_buf_hits.inc()
-                if self.tracer is not None:
-                    self.tracer.prefetch_hit(
+                self._c_buf_hits.value += 1
+                emit = self._emit_pf_hit
+                if emit is not noop:
+                    emit(
                         self.vault_id,
                         req.bank,
                         req.row,
@@ -135,10 +193,10 @@ class VaultController:
                         now,
                         in_flight=in_flight,
                     )
-                self.prefetcher.on_buffer_hit(
-                    req.bank, req.row, req.column, req.is_write, now
-                )
-                serve = max(now, entry.ready_time) + self.config.pf_hit_latency
+                obh = self._on_buffer_hit
+                if obh is not None:
+                    obh(req.bank, req.row, req.column, req.is_write, now)
+                serve = (ready if ready > now else now) + self._pf_hit_latency
                 self.respond_fn(req, serve)
                 return
         self.queues.admit(req)
@@ -168,9 +226,57 @@ class VaultController:
     # Scheduling
     # ------------------------------------------------------------------
     def _try_issue(self) -> None:
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
+        q = self.queues
+        sched = self.scheduler
+        rbb = q.reads_by_bank
+        wbb = q.writes_by_bank
+        if not rbb and not wbb:
+            # Nothing queued: no pick, no promote (staging implies a full
+            # queue), no wake to arm.  Only a pending write-drain *exit* can
+            # matter here, and running it eagerly mirrors what the scheduler
+            # does on its own empty fast path.
+            if sched.draining:
+                sched._update_drain_state(now)
+            return
+        # FRFCFSScheduler.next_request inlined below (the scheduler keeps the
+        # reference implementation and the public API): at one frame per
+        # issue slot plus one per exhausted scan, the method call itself was
+        # the last per-issue overhead left in this loop.  The bucket dicts
+        # and write deque are bound once in VaultQueues.__init__ and only
+        # ever mutated in place, so the local aliases stay current.
+        pick = sched._pick
+        rbr = q.reads_by_row
+        wbr = q.writes_by_row
+        writes_q = q.writes
+        wlow = sched.write_low
+        whigh = sched.write_high
+        banks = self.banks
+        call_at = engine.call_at
+        promote = q.promote
+        access_done = self._access_done
+        remove = q.remove
+        read, write = AccessKind.READ, AccessKind.WRITE
+        issued = 0
         while True:
-            req = self.scheduler.next_request(now)
+            # Write-drain hysteresis: most iterations cross neither
+            # watermark and pay two comparisons (_update_drain_state keeps
+            # the transition semantics).
+            pending_writes = len(writes_q)
+            if sched.draining:
+                if pending_writes <= wlow:
+                    sched._update_drain_state(now)
+            elif pending_writes >= whigh:
+                sched._update_drain_state(now)
+            if sched.draining:
+                req = pick(wbb, wbr, now) if wbb else None
+                if req is None and rbb:
+                    req = pick(rbb, rbr, now)
+            else:
+                req = pick(rbb, rbr, now) if rbb else None
+                if req is None and wbb:
+                    req = pick(wbb, wbr, now)
             if req is None:
                 break
             # NOTE: the buffer is probed at request *arrival* only (receive).
@@ -178,27 +284,53 @@ class VaultController:
             # bank path even if its row is prefetched meanwhile - this
             # mirrors the paper's design and is why BASE-HIT's queue-triggered
             # prefetches are largely wasted there (Fig. 7).
-            bank = self.banks[req.bank]
-            kind = AccessKind.WRITE if req.is_write else AccessKind.READ
-            result = bank.access(kind, req.row, now)
-            self._inflight += 1
-            self.engine.schedule_at(
-                result.finish, self._access_done, req, result, priority=-1
-            )
-            self.queues.promote()
-        self.queues.promote()
+            bank = banks[req.bank]
+            if bank.open_row == req.row:
+                sched.row_hit_issues += 1
+            else:
+                sched.fcfs_issues += 1
+            remove(req)
+            result = bank.access(write if req.is_write else read, req.row, now)
+            issued += 1
+            call_at(result.finish, access_done, req, result, priority=-1)
+            if q.staging:
+                promote()
+            if not rbb and not wbb:
+                # Queues drained mid-scan: mirror next_request's empty fast
+                # path (eager drain exit only).
+                if sched.draining:
+                    sched._update_drain_state(now)
+                break
+        self._inflight += issued
+        if q.staging:
+            promote()
         self._arm_wake()
 
     def _arm_wake(self) -> None:
-        """Keep exactly one wake event at the earliest useful cycle."""
-        if self._inflight:
-            # A completion event will re-run _try_issue anyway; an extra
-            # wake is only needed when banks are busy solely due to
-            # prefetch transfers (which have no completion events).
-            pass
-        t = self.scheduler.earliest_wakeup(self.engine.now)
-        if t is None:
-            return
+        """Keep exactly one wake event at the earliest useful cycle.
+
+        A completion event re-runs _try_issue anyway, but a wake is still
+        needed while banks are busy solely due to prefetch transfers (which
+        have no completion events) - so the timer is armed unconditionally.
+        """
+        q = self.queues
+        rb = q.reads_by_bank
+        wb = q.writes_by_bank
+        if not rb and not wb:
+            return  # nothing queued: earliest_wakeup would return None
+        # earliest_wakeup inlined (FRFCFSScheduler.earliest_wakeup holds the
+        # reference semantics): soonest busy-until among banks with work,
+        # None-equivalent bail-out when some such bank is already idle.
+        now = self.engine.now
+        banks = self.banks
+        t = None
+        for by_bank in (rb, wb):
+            for bank_id in by_bank:
+                b = banks[bank_id].busy_until
+                if b <= now:
+                    return  # issueable right now; no timer needed
+                if t is None or b < t:
+                    t = b
         if self._wake is not None and not self._wake.cancelled:
             if self._wake.time <= t:
                 return
@@ -216,16 +348,17 @@ class VaultController:
         now = self.engine.now
         self._inflight -= 1
         if req.is_write:
-            self._c_writes.inc()
+            self._c_writes.value += 1
         else:
-            self._c_reads.inc()
+            self._c_reads.value += 1
         req.source = ServiceSource.BANK
 
         actions = self.prefetcher.on_demand_access(
             req.bank, req.row, req.column, req.is_write, result.outcome, now
         )
-        for action in actions:
-            self._execute_prefetch(action, now)
+        if actions:
+            for action in actions:
+                self._execute_prefetch(action, now)
 
         self.respond_fn(req, now)
         self._try_issue()
@@ -233,11 +366,9 @@ class VaultController:
     def _execute_prefetch(self, action: PrefetchAction, now: int) -> None:
         if self.buffer is None:
             return
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.prefetch_issue(
-                self.vault_id, action.bank, action.row, action.provenance, now
-            )
+        self._emit_pf_issue(
+            self.vault_id, action.bank, action.row, action.provenance, now
+        )
         bank = self.banks[action.bank]
         full = (1 << self.config.lines_per_row) - 1
         if action.line_mask == full:
@@ -263,34 +394,33 @@ class VaultController:
             entry = self.buffer.get(action.bank, action.row)
             if entry is not None:
                 entry.seed_ref(action.seed_ref_mask)
-        if tracer is not None:
-            tracer.prefetch_fill(
+        self._emit_pf_fill(
+            self.vault_id,
+            action.bank,
+            action.row,
+            action.provenance,
+            now,
+            result.finish,
+        )
+        if victim is not None:
+            self._emit_buf_replace(
                 self.vault_id,
                 action.bank,
                 action.row,
-                action.provenance,
+                victim.bank,
+                victim.row,
+                self.buffer.policy.name,
                 now,
-                result.finish,
             )
-            if victim is not None:
-                tracer.buffer_replace(
-                    self.vault_id,
-                    action.bank,
-                    action.row,
-                    victim.bank,
-                    victim.row,
-                    self.buffer.policy.name,
-                    now,
-                )
-                tracer.prefetch_evict(
-                    self.vault_id,
-                    victim.bank,
-                    victim.row,
-                    victim.provenance,
-                    victim.was_used,
-                    victim.utilization,
-                    now,
-                )
+            self._emit_pf_evict(
+                self.vault_id,
+                victim.bank,
+                victim.row,
+                victim.provenance,
+                victim.was_used,
+                victim.utilization,
+                now,
+            )
         if victim is not None and victim.is_dirty:
             # Dirty prefetched rows are restored to their bank on eviction.
             self.banks[victim.bank].restore_row(victim.row, now)

@@ -1,0 +1,276 @@
+"""Hot-path invariants: event pooling, weak-event recycling, handle-free
+``call_at`` scheduling, and MemoryRequest recycling.
+
+The engine freelist makes :class:`~repro.sim.engine.Event` handles
+single-use; the contract tested here is the one
+``benchmarks/bench_hotpath.py``'s speedup rests on:
+
+* pool reuse must never resurrect a cancelled (or fired) event's callback,
+* weak events must recycle through the pool without unbounded growth,
+* ``call_at`` entries must order identically to ``schedule_at`` handles
+  (both draw ``seq`` from the same counter) while never touching the pool,
+* recycled :class:`~repro.request.MemoryRequest` objects must be
+  indistinguishable, result-wise, from fresh allocation.
+"""
+
+import pytest
+
+from repro.request import MemoryRequest
+from repro.sim.engine import Engine, Event
+
+
+# ----------------------------------------------------------------------
+# Event pool: cancellation vs reuse
+# ----------------------------------------------------------------------
+class TestEventPool:
+    def test_cancelled_callback_never_resurrected(self):
+        """A cancelled event's callback must not fire — not when its heap
+        turn passes, and not after its handle is recycled for new work."""
+        eng = Engine()
+        fired = []
+        victim = eng.schedule(5, fired.append, "victim")
+        keeper = eng.schedule(10, fired.append, "keeper")
+        victim.cancel()
+        eng.run()
+        assert fired == ["keeper"]
+        # Both handles were recycled with their callbacks cleared: the pool
+        # holds no path back to the cancelled callback.
+        assert eng.pool_size == 2
+        assert victim.fn is None and victim.args == ()
+        assert keeper.fn is None and keeper.args == ()
+        # The pool reissues those same objects for unrelated callbacks...
+        e1 = eng.schedule(1, fired.append, "fresh-1")
+        e2 = eng.schedule(2, fired.append, "fresh-2")
+        assert {e1, e2} == {victim, keeper}
+        eng.run()
+        # ...and only the new callbacks run; "victim" never appears.
+        assert fired == ["keeper", "fresh-1", "fresh-2"]
+        assert eng.events_fired == 3
+
+    def test_fired_handle_is_reset_on_reissue(self):
+        eng = Engine()
+        fired = []
+        first = eng.schedule(1, fired.append, "first")
+        eng.run()
+        assert first.fired and eng.pool_size == 1
+        second = eng.schedule(1, fired.append, "second")
+        assert second is first  # pooled reuse
+        assert not second.cancelled and not second.fired
+        eng.run()
+        assert fired == ["first", "second"]
+
+    def test_stale_cancel_after_fire_is_noop(self):
+        """cancel() on an already-fired handle must neither corrupt the
+        pending counter nor affect later events."""
+        eng = Engine()
+        fired = []
+        ev = eng.schedule(1, fired.append, "x")
+        eng.run()
+        ev.cancel()  # stale: the event already fired
+        assert eng.pending == 0
+        eng.schedule(1, fired.append, "y")
+        assert eng.pending == 1
+        eng.run()
+        assert fired == ["x", "y"]
+
+    def test_cancel_then_reschedule_pattern(self):
+        """The one supported retained-handle pattern (VaultController's
+        wake timer): cancel a pending handle, immediately take a new one."""
+        eng = Engine()
+        fired = []
+        wake = eng.schedule_at(20, fired.append, "late")
+        wake.cancel()
+        wake = eng.schedule_at(10, fired.append, "early")
+        eng.run()
+        assert fired == ["early"]
+        assert eng.now == 10
+        assert eng.pending == 0
+        # The cancelled tombstone still sits in the heap; peek_time purges
+        # it (recycling the handle) instead of reporting it as live work.
+        assert eng.peek_time() is None
+        assert eng.pool_size == 2
+
+
+# ----------------------------------------------------------------------
+# Weak events
+# ----------------------------------------------------------------------
+class TestWeakEvents:
+    def test_weak_events_recycle_through_pool(self):
+        """A self-rescheduling weak tick (the refresh idiom) must cycle
+        through the freelist, not grow it, and must not keep run() alive."""
+        eng = Engine()
+        ticks = []
+
+        def tick():
+            ticks.append(eng.now)
+            eng.schedule(10, tick, weak=True)
+
+        eng.schedule(10, tick, weak=True)
+        eng.schedule(35, ticks.append, "strong-done")
+        n = eng.run()
+        assert ticks == [10, 20, 30, "strong-done"]
+        assert n == 4
+        # run() stopped with the next weak tick still pending...
+        assert eng.pending == 1
+        # ...and steady-state reuse kept the pool bounded: one recycled tick
+        # handle plus the finished strong handle.
+        assert eng.pool_size == 2
+
+    def test_cancelled_weak_event_releases_pending(self):
+        eng = Engine()
+        ev = eng.schedule(5, lambda: None, weak=True)
+        assert eng.pending == 1
+        ev.cancel()
+        assert eng.pending == 0
+        assert eng.run() == 0  # nothing strong: the engine never starts
+        assert eng.peek_time() is None  # tombstone purged and recycled
+        assert eng.pool_size == 1
+
+
+# ----------------------------------------------------------------------
+# Handle-free call_at
+# ----------------------------------------------------------------------
+class TestCallAt:
+    def test_ordering_parity_with_schedule_at(self):
+        """call_at and schedule_at share one seq counter: interleaved
+        same-cycle entries fire in submission order."""
+        eng = Engine()
+        order = []
+        eng.schedule_at(5, order.append, "a")
+        eng.call_at(5, order.append, "b")
+        eng.schedule_at(5, order.append, "c")
+        eng.call_at(3, order.append, "d")
+        eng.run()
+        assert order == ["d", "a", "b", "c"]
+
+    def test_priority_breaks_same_cycle_ties(self):
+        eng = Engine()
+        order = []
+        eng.call_at(5, order.append, "second", priority=1)
+        eng.call_at(5, order.append, "first", priority=-1)
+        eng.run()
+        assert order == ["first", "second"]
+
+    def test_past_time_raises(self):
+        eng = Engine()
+        eng.call_at(4, lambda: None)
+        eng.run()
+        assert eng.now == 4
+        with pytest.raises(ValueError):
+            eng.call_at(3, lambda: None)
+
+    def test_counts_and_no_pool_traffic(self):
+        eng = Engine()
+        eng.call_at(1, lambda: None)
+        eng.call_at(2, lambda: None)
+        assert eng.pending == 2
+        assert eng.run() == 2
+        assert eng.pending == 0
+        assert eng.events_fired == 2
+        # bare tuples: nothing was pooled
+        assert eng.pool_size == 0
+
+    def test_max_events_pushes_entry_back(self):
+        eng = Engine()
+        order = []
+        eng.call_at(1, order.append, "x")
+        eng.call_at(2, order.append, "y")
+        assert eng.run(max_events=1) == 1
+        assert order == ["x"] and eng.now == 1 and eng.pending == 1
+        assert eng.step()
+        assert order == ["x", "y"]
+        assert not eng.step()
+
+    def test_until_leaves_future_entry_pending(self):
+        eng = Engine()
+        hit = []
+        eng.call_at(10, hit.append, 1)
+        eng.run(until=5)
+        assert eng.now == 5 and not hit and eng.pending == 1
+        eng.run()
+        assert hit == [1] and eng.now == 10
+
+    def test_peek_and_live_events_surface_transient_views(self):
+        eng = Engine()
+
+        def fn():
+            pass
+
+        eng.call_at(7, fn)
+        assert eng.peek_time() == 7
+        views = list(eng.live_events())
+        assert len(views) == 1
+        view = views[0]
+        assert isinstance(view, Event)
+        assert view.time == 7 and view.fn is fn
+        # Documented: the view is not connected to the heap — cancelling it
+        # does not cancel the underlying call_at entry.
+        view.cancel()
+        assert eng.pending == 1
+        assert eng.run() == 1
+
+
+# ----------------------------------------------------------------------
+# MemoryRequest pool
+# ----------------------------------------------------------------------
+@pytest.fixture
+def clean_request_pool():
+    saved = MemoryRequest._pool
+    MemoryRequest._pool = []
+    try:
+        yield
+    finally:
+        MemoryRequest._pool = saved
+
+
+class TestRequestPool:
+    def test_release_then_acquire_reuses_object(self, clean_request_pool):
+        def cb(req):
+            pass
+
+        r1 = MemoryRequest.acquire(0x1000, False, core_id=2, issue_cycle=7)
+        rid = r1.req_id
+        MemoryRequest.release(r1)
+        assert r1.callback is None and r1.meta is None
+        r2 = MemoryRequest.acquire(0x2000, True, core_id=5, issue_cycle=9, callback=cb)
+        assert r2 is r1  # pooled reuse
+        assert r2.req_id == rid + 1  # fresh identity every life
+        assert (r2.addr, r2.is_write, r2.core_id, r2.issue_cycle) == (
+            0x2000,
+            True,
+            5,
+            9,
+        )
+        assert r2.callback is cb
+
+    def test_acquire_on_empty_pool_allocates(self, clean_request_pool):
+        r1 = MemoryRequest.acquire(1, False)
+        r2 = MemoryRequest.acquire(2, False)
+        assert r1 is not r2
+        assert r2.req_id == r1.req_id + 1
+
+
+def test_recycling_does_not_change_results():
+    """End-to-end: a run with request recycling enabled (the default direct
+    front-end) must match a run that records every request (recycling off)
+    on every result the digest pins."""
+    from repro.system import System, SystemConfig
+    from repro.workloads.mixes import mix as make_mix
+
+    def run(record):
+        traces = make_mix("MX1", 120, seed=3)
+        system = System(
+            traces,
+            SystemConfig(scheme="camps", record_requests=record),
+            workload="MX1",
+        )
+        assert system.host.recycle_requests is (not record)
+        return system.run()
+
+    recycled = run(False)
+    recorded = run(True)
+    assert recycled.cycles == recorded.cycles
+    assert recycled.core_ipc == recorded.core_ipc
+    assert recycled.extra["events_fired"] == recorded.extra["events_fired"]
+    assert recycled.mean_memory_latency == recorded.mean_memory_latency
+    assert recycled.energy_pj == recorded.energy_pj
