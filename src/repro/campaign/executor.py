@@ -34,7 +34,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.manifest import (
     STATUS_ERROR,
@@ -63,24 +63,61 @@ def summarize(result: SimulationResult) -> dict:
     return {f: getattr(result, f) for f in _CACHED_FIELDS}
 
 
-def execute_cell(cell: Cell, attempt: int = 1) -> dict:
+def execute_cell(
+    cell: Cell, attempt: int = 1, report_dir: Optional[str] = None
+) -> dict:
     """Default cell runner: build the system, simulate, return the summary.
 
     Runs in the worker process; trace generation is seeded, so regenerating
     per cell yields byte-identical traces to the serial shared-trace loop.
+
+    With ``report_dir`` set (``functools.partial`` keeps the runner
+    picklable under spawn), the run carries a counter tracer and the
+    default-epoch time series sampler and writes a
+    :class:`~repro.obs.report.RunReport` to ``<report_dir>/<cell_id>.json``.
+    Neither changes the returned summary: telemetry never perturbs
+    simulation order, so cached and reported cells stay digest-identical.
     """
     from repro.workloads.mixes import mix as make_mix
 
     cfg = cell.config
     trace_hmc = cell.trace_config if cell.trace_config is not None else cfg.hmc
     traces = make_mix(cell.workload, cfg.refs_per_core, seed=cfg.seed, config=trace_hmc)
-    result = System(
+    tracer = None
+    epoch = None
+    if report_dir is not None:
+        from repro.obs import Tracer
+        from repro.obs.timeseries import DEFAULT_EPOCH
+
+        tracer = Tracer()
+        epoch = DEFAULT_EPOCH
+    system = System(
         traces,
-        SystemConfig(hmc=cfg.hmc, scheme=cell.scheme, integrity=cfg.integrity),
+        SystemConfig(
+            hmc=cfg.hmc,
+            scheme=cell.scheme,
+            integrity=cfg.integrity,
+            timeseries_epoch=epoch,
+        ),
         workload=cell.workload,
         scheme_kwargs=cell.scheme_kwargs,
-    ).run()
+        tracer=tracer,
+    )
+    result = system.run()
+    if report_dir is not None:
+        from repro.obs import build_run_report
+
+        build_run_report(
+            system, result, cell_id=cell.cell_id, attempt=attempt
+        ).save(cell_report_path(report_dir, cell.cell_id))
     return summarize(result)
+
+
+def cell_report_path(report_dir: Union[str, "os.PathLike"], cell_id: str) -> "Path":
+    """Where :func:`execute_cell` writes a cell's RunReport artifact."""
+    from pathlib import Path
+
+    return Path(report_dir) / f"{cell_id}.json"
 
 
 @dataclass(frozen=True)
@@ -291,14 +328,25 @@ class _Driver:
         cache: Optional[ResultCache],
         manifest: Optional[Manifest],
         progress: CampaignProgress,
+        report_dir: Optional[str] = None,
     ) -> None:
         self.opts = opts
         self.cache = cache
         self.manifest = manifest
         self.progress = progress
+        self.report_dir = report_dir
         self.records: Dict[str, CellRecord] = {}
 
     def record(self, rec: CellRecord, source: str = "executed") -> None:
+        if (
+            source == "executed"
+            and rec.ok
+            and self.report_dir is not None
+            and rec.report is None
+        ):
+            # execute_cell writes the artifact at a deterministic path; the
+            # record carries it so readers never reconstruct the layout
+            rec.report = str(cell_report_path(self.report_dir, rec.cell_id))
         self.records[rec.cell_id] = rec
         if source != "resumed" and self.manifest is not None:
             self.manifest.append(rec)
@@ -540,15 +588,27 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     manifest: Optional[Manifest] = None,
     runner: CellRunner = execute_cell,
+    report_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Drive every cell to a terminal manifest record.
 
     ``cells`` are deduplicated by cell id (first spec wins).  ``cache`` is
     consulted before execution and updated (batched; flushed once at the
     end) for cacheable cells; pass ``None`` to run uncached.  Without
-    ``resume`` an existing manifest file is rewritten fresh.
+    ``resume`` an existing manifest file is rewritten fresh.  With
+    ``report_dir``, every *executed* cell also writes a RunReport artifact
+    there and its manifest record points at it (cached/resumed cells carry
+    none - nothing was simulated).
     """
     opts = options or CampaignOptions()
+    if report_dir is not None:
+        import functools
+        from pathlib import Path
+
+        Path(report_dir).mkdir(parents=True, exist_ok=True)
+        if runner is execute_cell:
+            # partial of a module-level callable: still picklable under spawn
+            runner = functools.partial(execute_cell, report_dir=str(report_dir))
     unique: Dict[str, Cell] = {}
     for cell in cells:
         unique.setdefault(cell.cell_id, cell)
@@ -558,7 +618,7 @@ def run_campaign(
     progress = CampaignProgress(
         total=len(ordered), jobs=opts.jobs, enabled=opts.progress
     )
-    driver = _Driver(opts, cache, manifest, progress)
+    driver = _Driver(opts, cache, manifest, progress, report_dir=report_dir)
     t0 = time.perf_counter()
     pending = driver.prepare(ordered)
     try:

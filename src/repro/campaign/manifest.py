@@ -50,6 +50,11 @@ class CellRecord:
     #: reason, stuck component, violations, crash-dump path.  A diagnosed
     #: error is deterministic - resume skips the cell instead of retrying it.
     diagnosis: Optional[dict] = None
+    #: path of the RunReport artifact (repro.obs.report) written for this
+    #: cell, when the campaign ran with a report directory.  Cached and
+    #: resumed cells carry no report (nothing was simulated).  Optional
+    #: field within MANIFEST_VERSION 1: older readers ignore unknown keys.
+    report: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +111,7 @@ class Manifest:
                     error=raw.get("error"),
                     cached=bool(raw.get("cached", False)),
                     diagnosis=raw.get("diagnosis"),
+                    report=raw.get("report"),
                 )
             except (KeyError, TypeError, ValueError):
                 continue

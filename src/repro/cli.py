@@ -7,6 +7,8 @@ Commands
 ``profile``  run one cell under cProfile; report events/sec and hot callbacks
 ``figure``   regenerate one of the paper's figures (5-9) as a table/CSV
 ``campaign`` run a (mixes x schemes) grid sharded across worker processes
+``report``   markdown figure report, or an HTML dashboard from RunReports
+``diff``     compare two RunReport artifacts (deltas + subsystem attribution)
 ``table``    print Table I (configuration) or Table II (workload mixes)
 ``schemes``  list the registered prefetching schemes
 ``trace``    generate a synthetic benchmark trace and print its statistics
@@ -16,10 +18,14 @@ Examples::
     python -m repro run HM1 --scheme camps-mod --refs 5000
     python -m repro run HM1 --scheme camps-mod --refs 3000 --trace out.json
     python -m repro run HM1 --refs 2000 --json
+    python -m repro run HM1 --refs 3000 --report a.json
+    python -m repro diff a.json b.json
+    python -m repro report a.json b.json --out dash.html
     python -m repro profile HM1 --refs 3000
     python -m repro figure 5 --mixes HM1,LM1 --refs 3000 --csv fig5.csv
     python -m repro campaign --jobs 4 --refs 4000 --timeout 600 --retries 1
     python -m repro campaign --resume --jobs 4   # pick up where it stopped
+    python -m repro campaign --report-dir reports --refs 2000
     python -m repro table 1
     python -m repro trace lbm --refs 10000
 """
@@ -122,28 +128,41 @@ def _result_json(result, cfg) -> str:
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _experiment_config(args)
     tracer = None
-    if args.trace or args.log_json:
+    system = None
+    report_path = getattr(args, "report", None)
+    epoch = getattr(args, "epoch", None)
+    if report_path and epoch is None:
+        from repro.obs.timeseries import DEFAULT_EPOCH
+
+        epoch = DEFAULT_EPOCH
+    if args.trace or args.log_json or report_path or epoch is not None:
         # Fail on bad output paths *before* simulating, not after.
         from pathlib import Path
 
-        for raw in (args.trace, args.log_json):
+        for raw in (args.trace, args.log_json, report_path):
             if raw and not Path(raw).resolve().parent.is_dir():
                 raise SystemExit(
                     f"output directory does not exist: {Path(raw).resolve().parent}"
                 )
-        # Tracing needs a live System (the result cache only stores
-        # summaries), so build the cell directly and bypass the cache.
+        # Tracing/reporting needs a live System (the result cache only
+        # stores summaries), so build the cell directly and bypass the cache.
         from repro.obs import Tracer
         from repro.system import System, SystemConfig
 
         tracer = Tracer()
         traces = make_mix(args.mix, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc)
-        result = System(
+        system = System(
             traces,
-            SystemConfig(hmc=cfg.hmc, scheme=args.scheme, integrity=cfg.integrity),
+            SystemConfig(
+                hmc=cfg.hmc,
+                scheme=args.scheme,
+                integrity=cfg.integrity,
+                timeseries_epoch=epoch,
+            ),
             workload=args.mix,
             tracer=tracer,
-        ).run()
+        )
+        result = system.run()
     else:
         result = run_cell(args.mix, args.scheme, cfg)
 
@@ -176,6 +195,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             path = write_jsonl(tracer, args.log_json)
             if not args.json:
                 print(f"  wrote JSONL log     {path}")
+        if report_path:
+            from repro.obs import build_run_report
+
+            path = build_run_report(
+                system, result,
+                mix=args.mix, refs_per_core=cfg.refs_per_core, seed=cfg.seed,
+            ).save(report_path)
+            if not args.json:
+                print(f"  wrote run report    {path} (diff/render with "
+                      f"`repro diff` / `repro report`)")
         if not args.json:
             print()
             print(text_summary(tracer))
@@ -302,8 +331,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             resume=args.resume,
             progress=not args.quiet,
         ),
-        cache=default_cache(),
+        # per-cell RunReports invalidate nothing, but a cache hit skips the
+        # simulation that would write them - so reported campaigns bypass
+        # the cache to guarantee one artifact per requested cell
+        cache=None if args.report_dir else default_cache(),
         manifest=Manifest(args.manifest),
+        report_dir=args.report_dir,
     )
     st = res.stats
     print(
@@ -314,6 +347,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"{st['failed']} failed"
     )
     print(f"manifest: {args.manifest}")
+    if args.report_dir:
+        n = sum(1 for r in res.records.values() if r.report)
+        print(f"run reports: {n} in {args.report_dir}/ "
+              f"(render with `repro report --manifest {args.manifest}`)")
     for rec in res.failures:
         tail = (rec.error or "").strip().splitlines()
         print(f"  FAILED {rec.workload}/{rec.scheme}: {rec.status}"
@@ -341,7 +378,84 @@ def cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two RunReport artifacts: metric deltas, subsystem
+    attribution, and where the sampled series pull apart."""
+    from repro.obs import RunReport, diff_reports
+
+    d = diff_reports(RunReport.load(args.a), RunReport.load(args.b))
+    if args.json:
+        print(json.dumps({
+            "a": d.a_label,
+            "b": d.b_label,
+            "top_subsystem": d.top_subsystem(),
+            "subsystems": [
+                {"name": n, "score": s, "metrics": k} for n, s, k in d.subsystems
+            ],
+            "metrics": [
+                {"name": m.name, "a": m.a, "b": m.b, "delta": m.delta, "rel": m.rel}
+                for m in d.metrics
+            ],
+        }))
+    else:
+        print(d.to_text(max_counters=args.top))
+    return 0
+
+
+def _report_html(args: argparse.Namespace) -> int:
+    """HTML dashboard mode of ``repro report``."""
+    from pathlib import Path
+
+    from repro.obs import RunReport, render_html
+    from repro.obs.html import load_manifest_rows
+
+    reports = [RunReport.load(p) for p in args.inputs]
+    rows = None
+    if args.manifest:
+        rows = load_manifest_rows(args.manifest)
+        # cells executed with --report-dir point at their artifacts; fold
+        # them in (bounded: each adds sparkline sections to the page)
+        for row in rows:
+            if len(reports) >= 8:
+                break
+            rpath = row.get("report")
+            if rpath and Path(rpath).exists():
+                reports.append(RunReport.load(rpath))
+    if not reports and not rows:
+        # nothing to render was supplied: simulate one sampled cell so
+        # `repro report --out r.html` works out of the box
+        from repro.obs import Tracer, build_run_report
+        from repro.obs.timeseries import DEFAULT_EPOCH
+        from repro.system import System, SystemConfig
+
+        cfg = _experiment_config(args)
+        mix_name = _parse_mixes(args.mixes)[0]
+        if not args.quiet:
+            print(f"no inputs; simulating {mix_name}/camps-mod "
+                  f"({cfg.refs_per_core} refs/core)")
+        tracer = Tracer()
+        system = System(
+            make_mix(mix_name, cfg.refs_per_core, seed=cfg.seed, config=cfg.hmc),
+            SystemConfig(hmc=cfg.hmc, scheme="camps-mod",
+                         timeseries_epoch=DEFAULT_EPOCH),
+            workload=mix_name,
+            tracer=tracer,
+        )
+        result = system.run()
+        reports = [build_run_report(system, result, refs_per_core=cfg.refs_per_core,
+                                    seed=cfg.seed)]
+    out = Path(args.out or "report.html")
+    html = render_html(reports, manifest_rows=rows)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html)
+    print(f"wrote {out} ({len(html) / 1024:.0f} KiB, "
+          f"{len(reports)} report(s); self-contained, opens offline)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.inputs or args.manifest or (args.out or "").endswith((".html", ".htm")):
+        return _report_html(args)
     from repro.experiments.report import generate_report
 
     mixes = _parse_mixes(args.mixes)
@@ -500,6 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write every trace event as one JSON object per line")
     p_run.add_argument("--json", action="store_true",
                        help="print a one-line machine-readable JSON summary")
+    p_run.add_argument("--report", metavar="PATH",
+                       help="write a RunReport artifact (counters + time "
+                       "series; input to `repro diff` / `repro report`)")
+    p_run.add_argument("--epoch", type=int, metavar="N",
+                       help="time-series sampling period in cycles "
+                       "(default 1024 when --report is given)")
     _add_robustness_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -565,6 +685,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip cells the manifest already records as ok",
     )
+    p_camp.add_argument(
+        "--report-dir", dest="report_dir", metavar="DIR",
+        help="write one RunReport artifact per executed cell into DIR "
+        "(manifest records point at them; disables the result cache)",
+    )
     _add_robustness_args(p_camp)
     p_camp.add_argument("--quiet", action="store_true")
     p_camp.set_defaults(fn=cmd_campaign)
@@ -589,14 +714,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.set_defaults(fn=cmd_sweep)
 
     p_rep = sub.add_parser(
-        "report", help="measured-vs-paper markdown report over all figures"
+        "report",
+        help="measured-vs-paper markdown report, or (with RunReport inputs, "
+        "--manifest, or an .html --out) a self-contained HTML dashboard",
+    )
+    p_rep.add_argument(
+        "inputs", nargs="*", metavar="REPORT.json",
+        help="RunReport artifacts (from `run --report` / `campaign "
+        "--report-dir`) to render as an HTML dashboard",
     )
     p_rep.add_argument("--mixes", help="comma-separated subset (default: all 12)")
     p_rep.add_argument("--refs", type=int, default=4000)
     p_rep.add_argument("--seed", type=int, default=1)
-    p_rep.add_argument("--out", help="write the report to this file")
+    p_rep.add_argument("--out", help="write the report to this file "
+                       "(*.html selects the dashboard mode)")
+    p_rep.add_argument("--manifest", metavar="PATH",
+                       help="campaign manifest: adds the scheme-comparison "
+                       "table and folds in per-cell reports")
     p_rep.add_argument("--quiet", action="store_true")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two RunReport artifacts (deltas + attribution)"
+    )
+    p_diff.add_argument("a", help="baseline RunReport JSON")
+    p_diff.add_argument("b", help="comparison RunReport JSON")
+    p_diff.add_argument("--top", type=int, default=10,
+                        help="rows per section in the text output")
+    p_diff.add_argument("--json", action="store_true",
+                        help="machine-readable summary")
+    p_diff.set_defaults(fn=cmd_diff)
 
     p_st = sub.add_parser("selftest", help="fast end-to-end install check")
     p_st.set_defaults(fn=cmd_selftest)

@@ -212,6 +212,7 @@ class HostController:
         nb = h.nbins
         if idx >= nb:
             idx = nb - 1
+            h._overflow += 1
         elif idx < 0:
             idx = 0
         h._counts[idx] += 1
@@ -229,6 +230,7 @@ class HostController:
             nb = h.nbins
             if idx >= nb:
                 idx = nb - 1
+                h._overflow += 1
             elif idx < 0:
                 idx = 0
             h._counts[idx] += 1

@@ -191,6 +191,12 @@ class SerialLink:
     def total_flits(self) -> int:
         return self.request.flits_sent + self.response.flits_sent
 
+    @property
+    def total_busy_cycles(self) -> int:
+        """Combined serialization occupancy of both directions (the
+        telemetry layer turns per-epoch deltas of this into utilization)."""
+        return self.request.busy_cycles + self.response.busy_cycles
+
     def fault_counters(self) -> Optional[dict]:
         """Aggregated retry counters across both directions, or None when
         fault injection is not attached."""

@@ -37,6 +37,14 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.html import render_html, write_html
+from repro.obs.report import (
+    RunReport,
+    ReportDiff,
+    build_run_report,
+    diff_reports,
+)
+from repro.obs.timeseries import DEFAULT_EPOCH, Series, TimeseriesSampler
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -51,4 +59,13 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "text_summary",
+    "Series",
+    "TimeseriesSampler",
+    "DEFAULT_EPOCH",
+    "RunReport",
+    "ReportDiff",
+    "build_run_report",
+    "diff_reports",
+    "render_html",
+    "write_html",
 ]

@@ -23,7 +23,13 @@ Path = Tuple[str, ...]
 
 def _read(source: Source) -> float:
     if callable(source):
-        return source()
+        # A gauge that raises at snapshot time (e.g. a component already
+        # torn down) degrades to NaN instead of killing the whole snapshot:
+        # end-of-run reporting must never be the thing that crashes a run.
+        try:
+            return source()
+        except Exception:
+            return float("nan")
     value = getattr(source, "value", source)
     return value
 
@@ -90,13 +96,29 @@ class CounterRegistry:
         return out
 
     def snapshot(self) -> Dict[str, Any]:
-        """Nested-dict view: scopes become dicts, counters become values."""
+        """Nested-dict view: scopes become dicts, counters become values.
+
+        A name used as both a counter and a scope at the same level (e.g. a
+        ``links`` counter next to a ``links`` scope) is legal: the counter
+        value moves under the scope dict's ``""`` key so neither silently
+        shadows the other.
+        """
         root: Dict[str, Any] = {}
         for path, name, value in self.items():
             node = root
             for part in path:
-                node = node.setdefault(part, {})
-            node[name] = value
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    # a counter already claimed this name: keep its value
+                    # under the reserved "" key of the new scope dict
+                    child = {} if child is None else {"": child}
+                    node[part] = child
+                node = child
+            prior = node.get(name)
+            if isinstance(prior, dict):
+                prior[""] = value
+            else:
+                node[name] = value
         return root
 
     def scopes(self, prefix: str = "") -> List[str]:

@@ -102,9 +102,25 @@ def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
 
 
 def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> Path:
-    """Write one JSON object per event; returns the path written."""
+    """Write one JSON object per event; returns the path written.
+
+    The first line is a ``{"meta": ...}`` header carrying the tracer's run
+    metadata plus the recorded/dropped totals - the Chrome exporter records
+    these in ``otherData``, and without the header a JSONL log silently lost
+    them (a truncated stream was indistinguishable from a complete one).
+    """
     p = Path(path)
     with p.open("w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "meta": dict(tracer.meta),
+                    "events_recorded": len(tracer.events),
+                    "events_dropped": tracer.dropped,
+                }
+            )
+        )
+        fh.write("\n")
         for e in tracer.events:
             fh.write(json.dumps(e.to_dict()))
             fh.write("\n")
@@ -129,8 +145,9 @@ def text_summary(tracer: Tracer, max_vaults: int = 32) -> str:
     prov = tracer.provenance_counts()
     if prov:
         lines.append("  prefetch provenance")
+        pwidth = max(len(t) for t in prov)
         for tag, n in sorted(prov.items()):
-            lines.append(f"    {tag:<{max(len(t) for t in prov)}}  {n}")
+            lines.append(f"    {tag:<{pwidth}}  {n}")
 
     snapshot = tracer.counters.snapshot()
     vault_names = sorted(

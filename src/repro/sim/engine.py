@@ -29,8 +29,10 @@ Two hot-path choices are worth naming because they are invisible in the API:
   completions, core wakeups) go through :meth:`Engine.call_at`, which heaps
   a bare ``(time, priority, seq, fn, args)`` tuple with **no Event object
   at all** - nothing to pool, reset, or recycle.  Such entries cannot be
-  cancelled and are never weak; use :meth:`Engine.schedule` /
-  :meth:`Engine.schedule_at` when a handle is needed.
+  cancelled; ``weak=True`` appends a sixth slot and makes the entry
+  background-only (it does not keep :meth:`run` alive - the telemetry epoch
+  tick uses this).  Use :meth:`Engine.schedule` / :meth:`Engine.schedule_at`
+  when a handle is needed.
 """
 
 from __future__ import annotations
@@ -112,7 +114,8 @@ class Event:
 
 
 #: type of one heap entry: ``(time, priority, seq, event)`` for handled
-#: events, or ``(time, priority, seq, fn, args)`` for handle-free call_at()
+#: events, ``(time, priority, seq, fn, args)`` for handle-free call_at()
+#: entries, or ``(time, priority, seq, fn, args, True)`` for weak handle-free
 #: entries (distinguished by length).  Slots past ``seq`` never participate
 #: in the tuple comparison because ``seq`` (slot 2) is unique.
 _HeapEntry = Tuple[Any, ...]
@@ -237,15 +240,19 @@ class Engine:
         fn: Callable[..., Any],
         *args: Any,
         priority: int = 0,
+        weak: bool = False,
     ) -> None:
         """Schedule ``fn(*args)`` at absolute cycle ``time``, handle-free.
 
         The fire-and-forget fast path: no :class:`Event` is created (the
         heap holds a bare ``(time, priority, seq, fn, args)`` tuple), so the
-        call cannot be cancelled and never counts as weak.  Ordering is
-        identical to :meth:`schedule_at` with the same arguments - both draw
-        ``seq`` from the same counter.  ``time`` must already be an integer
-        cycle: unlike the schedule paths, no ``int()`` coercion is applied.
+        call cannot be cancelled.  ``weak=True`` marks the entry background
+        work that does not keep :meth:`run` alive (the heap tuple grows a
+        sixth slot); the telemetry epoch tick uses this to sample without
+        ever extending the simulation.  Ordering is identical to
+        :meth:`schedule_at` with the same arguments - both draw ``seq`` from
+        the same counter.  ``time`` must already be an integer cycle: unlike
+        the schedule paths, no ``int()`` coercion is applied.
         """
         if time < self.now:
             raise ValueError(
@@ -253,8 +260,12 @@ class Engine:
             )
         seq = self._seq + 1
         self._seq = seq
-        heapq.heappush(self._heap, (time, priority, seq, fn, args))
-        self._strong += 1
+        if weak:
+            heapq.heappush(self._heap, (time, priority, seq, fn, args, True))
+            self._weak_live += 1
+        else:
+            heapq.heappush(self._heap, (time, priority, seq, fn, args))
+            self._strong += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -297,11 +308,15 @@ class Engine:
                 strong = self._strong
                 while heap and strong:
                     entry = heappop(heap)
-                    if len(entry) == 5:
+                    n = len(entry)
+                    if n != 4:
                         # handle-free call_at() entry: nothing to cancel,
-                        # nothing to recycle
+                        # nothing to recycle (weak entries carry slot 5)
                         self.now = entry[0]
-                        self._strong = strong = strong - 1
+                        if n == 5:
+                            self._strong = strong = strong - 1
+                        else:
+                            self._weak_live -= 1
                         fired += 1
                         entry[3](*entry[4])
                         strong = self._strong
@@ -336,13 +351,17 @@ class Engine:
                     self.now = until
                     break
                 heappop(heap)
-                if len(entry) == 5:
+                n = len(entry)
+                if n != 4:
                     # handle-free call_at() entry (see the fast loop above)
                     if max_events is not None and fired >= max_events:
                         heapq.heappush(heap, entry)
                         break
                     self.now = time
-                    self._strong -= 1
+                    if n == 5:
+                        self._strong -= 1
+                    else:
+                        self._weak_live -= 1
                     fn = entry[3]
                     if spans:
                         tracer.engine_fire(time, fn)
@@ -441,7 +460,7 @@ class Engine:
         pool = self._pool
         while heap:
             head = heap[0]
-            if len(head) == 5 or not head[3].cancelled:
+            if len(head) != 4 or not head[3].cancelled:
                 return head[0]
             ev = heapq.heappop(heap)[3]
             ev.fn = None
@@ -455,8 +474,11 @@ class Engine:
         handle-free call_at() entries are surfaced as transient Event views
         that are not connected to the heap (cancelling one has no effect)."""
         for entry in self._heap:
-            if len(entry) == 5:
-                yield Event(entry[0], entry[1], entry[2], entry[3], entry[4])
+            if len(entry) != 4:
+                yield Event(
+                    entry[0], entry[1], entry[2], entry[3], entry[4],
+                    weak=len(entry) == 6,
+                )
             elif not entry[3].cancelled:
                 yield entry[3]
 

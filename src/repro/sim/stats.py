@@ -46,7 +46,10 @@ class Histogram:
     exactly (Welford) regardless of binning.
     """
 
-    __slots__ = ("name", "bin_width", "nbins", "_counts", "_n", "_mean", "_m2", "_min", "_max")
+    __slots__ = (
+        "name", "bin_width", "nbins", "_counts", "_n", "_mean", "_m2",
+        "_min", "_max", "_overflow",
+    )
 
     def __init__(self, name: str, nbins: int = 64, bin_width: int = 16) -> None:
         if nbins < 1 or bin_width < 1:
@@ -62,6 +65,9 @@ class Histogram:
         self._m2 = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        # samples clamped into the last bin from beyond the binned range;
+        # percentile() uses this to stop under-reporting high quantiles
+        self._overflow = 0
 
     @property
     def counts(self) -> np.ndarray:
@@ -73,6 +79,7 @@ class Histogram:
         nbins = self.nbins
         if idx >= nbins:
             idx = nbins - 1
+            self._overflow += 1
         elif idx < 0:
             idx = 0
         self._counts[idx] += 1
@@ -109,8 +116,20 @@ class Histogram:
     def max(self) -> float:
         return self._max if self._max is not None else 0.0
 
+    @property
+    def overflow(self) -> int:
+        """Samples clamped into the last bin from beyond the binned range."""
+        return self._overflow
+
     def percentile(self, q: float) -> float:
-        """Approximate percentile from bin midpoints (q in [0, 100])."""
+        """Approximate percentile from bin midpoints (q in [0, 100]).
+
+        The last bin holds both genuine last-interval samples and overflow
+        (samples beyond ``nbins * bin_width``).  A quantile landing among the
+        overflow samples returns the exact tracked maximum instead of the
+        last bin's midpoint, which used to silently under-report high
+        percentiles for long-tailed distributions.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be within [0, 100]")
         if self._n == 0:
@@ -119,6 +138,11 @@ class Histogram:
         cum = np.cumsum(self._counts)
         idx = int(np.searchsorted(cum, target, side="left"))
         idx = min(idx, self.nbins - 1)
+        if idx == self.nbins - 1 and self._overflow:
+            below_last = float(cum[-2]) if self.nbins > 1 else 0.0
+            in_range_last = self._counts[-1] - self._overflow
+            if target > below_last + in_range_last:
+                return self.max
         return (idx + 0.5) * self.bin_width
 
     def reset(self) -> None:
@@ -128,6 +152,7 @@ class Histogram:
         self._m2 = 0.0
         self._min = None
         self._max = None
+        self._overflow = 0
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self._n}, mean={self.mean:.2f})"
@@ -196,6 +221,7 @@ class StatGroup:
             mine = self.histogram(name, nbins=h.nbins, bin_width=h.bin_width)
             if mine.nbins == h.nbins and mine.bin_width == h.bin_width:
                 mine._counts = [a + b for a, b in zip(mine._counts, h._counts)]
+                mine._overflow += h._overflow
             # merge running moments via pooled update
             n1, n2 = mine._n, h._n
             if n2:

@@ -121,6 +121,12 @@ class SystemConfig:
     #: sample queue depth / buffer occupancy every N cycles (None = off);
     #: results appear in SimulationResult.extra["samples"]
     sample_interval: Optional[int] = None
+    #: epoch-windowed time series (repro.obs.timeseries): snapshot the
+    #: standard derived gauges every N cycles into ring-buffered series
+    #: (None = off).  The payload appears in
+    #: SimulationResult.extra["timeseries"] and in RunReport artifacts;
+    #: sampling never perturbs simulation order or result digests.
+    timeseries_epoch: Optional[int] = None
     #: keep every completed MemoryRequest on the host for post-run latency
     #: analysis (repro.metrics.latency); costs memory proportional to trace
     record_requests: bool = False
@@ -256,6 +262,16 @@ class System:
         self.tracer = tracer
         if tracer is not None:
             tracer.wire_system(self)
+        #: epoch-windowed time series (repro.obs.timeseries.TimeseriesSampler)
+        self.timeseries = None
+        if self.config.timeseries_epoch is not None:
+            from repro.obs.timeseries import TimeseriesSampler  # local: keep
+            # the unsampled build path free of the obs timeseries import
+
+            self.timeseries = TimeseriesSampler(
+                self.engine, epoch=self.config.timeseries_epoch
+            )
+            self.timeseries.attach(self)
         self.monitor = None
         if self.config.integrity:
             from repro.sim.integrity import IntegrityMonitor  # local: keep the
@@ -304,6 +320,8 @@ class System:
             )
         if self.sampler is not None:
             self.sampler.start()
+        if self.timeseries is not None:
+            self.timeseries.start()
         for core in self.cores:
             core.start()
         self.engine.run(max_events=max_events)
@@ -371,6 +389,8 @@ class System:
             extra["link_faults"] = self.host.link_fault_summary()
         if self.tracer is not None:
             extra["trace_summary"] = self.tracer.summary()
+        if self.timeseries is not None:
+            extra["timeseries"] = self.timeseries.to_payload()
         return SimulationResult(
             scheme=self.config.scheme,
             workload=self.workload,

@@ -441,6 +441,7 @@ class VaultController:
         self.scheduler.row_hit_issues = 0
         self.scheduler.fcfs_issues = 0
         self.scheduler.drain_entries = 0
+        self.scheduler.drain_cycles = 0
         self.tsv_bus.reservations = 0
         self.tsv_bus.busy_cycles = 0
 
@@ -448,6 +449,13 @@ class VaultController:
         """Flush accuracy accounting for rows still resident in the buffer."""
         if self.buffer is not None:
             self.buffer.finalize()
+
+    @property
+    def queue_occupancy(self) -> float:
+        """Fraction of the combined read+write queue capacity in use (a
+        telemetry gauge; polled, never maintained on the hot path)."""
+        depth = self.queues.read_depth + self.queues.write_depth
+        return len(self.queues) / depth if depth else 0.0
 
     @property
     def demand_accesses(self) -> int:

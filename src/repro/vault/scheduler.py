@@ -54,6 +54,10 @@ class FRFCFSScheduler:
         self.row_hit_issues = 0
         self.fcfs_issues = 0
         self.drain_entries = 0
+        #: cumulative cycles spent in drain mode over closed episodes; the
+        #: telemetry layer adds the open episode via :meth:`drain_cycles_at`
+        self.drain_cycles = 0
+        self._drain_since = 0
         self._vault_id = getattr(banks[0].bus, "vault_id", 0) if banks else 0
         #: drain-mode transitions are the scheduler's only traced events -
         #: issue decisions are visible through the bank command stream already
@@ -78,10 +82,19 @@ class FRFCFSScheduler:
         if not self.draining and pending_writes >= self.write_high:
             self.draining = True
             self.drain_entries += 1
+            self._drain_since = now
             self._emit_drain(self._vault_id, True, pending_writes, now)
         elif self.draining and pending_writes <= self.write_low:
             self.draining = False
+            self.drain_cycles += now - self._drain_since
             self._emit_drain(self._vault_id, False, pending_writes, now)
+
+    def drain_cycles_at(self, now: int) -> int:
+        """Total drain-mode residency up to ``now``, open episode included."""
+        total = self.drain_cycles
+        if self.draining:
+            total += now - self._drain_since
+        return total
 
     def _pick(
         self,

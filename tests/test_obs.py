@@ -129,6 +129,37 @@ class TestCounterRegistry:
         reg.scope("host").register("a", 1)
         assert reg.scopes("vault") == ["vault0", "vault1"]
 
+    def test_snapshot_name_as_both_counter_and_scope(self):
+        # "links" is a counter at the root *and* a scope with children: the
+        # counter value must survive under the scope dict's "" key whichever
+        # order the two registrations land in.
+        reg = CounterRegistry()
+        reg.scope().register("links", 4)
+        reg.scope("links").register("tx", 7)
+        assert reg.snapshot() == {"links": {"": 4, "tx": 7}}
+
+        reg2 = CounterRegistry()
+        reg2.scope("a", "links").register("tx", 7)
+        reg2.scope("a").register("links", 4)
+        assert reg2.snapshot() == {"a": {"links": {"": 4, "tx": 7}}}
+
+    def test_flatten_empty_path_root_counters(self):
+        reg = CounterRegistry()
+        reg.scope().register("cycles", 11)
+        reg.scope("v").register("acts", 2)
+        assert reg.flatten() == {"cycles": 11, "v.acts": 2}
+
+    def test_raising_gauge_degrades_to_nan(self):
+        def boom():
+            raise RuntimeError("component torn down")
+
+        reg = CounterRegistry()
+        reg.scope("s").register("g", boom)
+        reg.scope("s").register("ok", 3)
+        flat = reg.flatten()
+        assert flat["s.ok"] == 3
+        assert flat["s.g"] != flat["s.g"]  # NaN
+
 
 class TestWiredRun:
     def test_both_camps_provenances_observed(self, traced_run):
@@ -209,12 +240,16 @@ class TestExporters:
         doc = json.loads(p.read_text())
         assert len(doc["traceEvents"]) > 0
 
-    def test_write_jsonl_one_event_per_line(self, traced_run, tmp_path):
+    def test_write_jsonl_header_then_one_event_per_line(self, traced_run, tmp_path):
         tracer, _ = traced_run
         p = write_jsonl(tracer, tmp_path / "t.jsonl")
         lines = p.read_text().splitlines()
-        assert len(lines) == len(tracer.events)
-        first = json.loads(lines[0])
+        assert len(lines) == 1 + len(tracer.events)
+        header = json.loads(lines[0])
+        assert header["meta"] == dict(tracer.meta)
+        assert header["events_recorded"] == len(tracer.events)
+        assert header["events_dropped"] == tracer.dropped
+        first = json.loads(lines[1])
         assert "kind" in first and "time" in first
 
     def test_text_summary_contents(self, traced_run):

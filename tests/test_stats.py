@@ -86,6 +86,27 @@ class TestHistogram:
         h.reset()
         assert h.n == 0 and h.mean == 0.0 and h.counts.sum() == 0
 
+    def test_percentile_overflow_returns_tracked_max(self):
+        # Regression: a quantile landing among overflow samples used to
+        # report the last bin's midpoint (35 here), silently under-reporting
+        # tail latency for any long-tailed distribution.
+        h = Histogram("h", nbins=4, bin_width=10)
+        for v in (1, 2, 3, 500, 900, 1000):
+            h.add(v)
+        assert h.overflow == 3
+        assert h.percentile(99) == 1000
+        # quantiles below the overflow mass still use bin midpoints
+        assert h.percentile(10) == 5.0
+
+    def test_percentile_last_bin_in_range_vs_overflow(self):
+        # Samples genuinely inside the last bin keep the midpoint answer;
+        # only quantiles past them fall through to the tracked max.
+        h = Histogram("h", nbins=4, bin_width=10)
+        for v in (31, 32, 33, 34, 5000):
+            h.add(v)
+        assert h.percentile(50) == 35.0  # in-range last-bin sample
+        assert h.percentile(100) == 5000  # the overflow sample
+
     def test_invalid_geometry(self):
         with pytest.raises(ValueError):
             Histogram("h", nbins=0)
@@ -149,6 +170,18 @@ class TestStatGroup:
         assert h.n == 5
         assert h.mean == pytest.approx(np.mean([1, 2, 3, 10, 20]))
         assert h.variance == pytest.approx(np.var([1, 2, 3, 10, 20]))
+
+    def test_merge_histograms_pools_overflow(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        ha = a.histogram("h", nbins=4, bin_width=10)
+        hb = b.histogram("h", nbins=4, bin_width=10)
+        ha.add(500)
+        hb.add(900)
+        hb.add(5)
+        a.merge(b)
+        merged = a.histogram("h")
+        assert merged.overflow == 2
+        assert merged.percentile(100) == 900  # overflow-aware after merge too
 
 
 class TestGeomean:
