@@ -41,8 +41,12 @@ from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional
 
-from repro.system import System, SystemConfig
-from repro.workloads.mixes import mix as make_mix
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import record_bench_history  # noqa: E402
+
+from repro.system import System, SystemConfig  # noqa: E402
+from repro.workloads.mixes import mix as make_mix  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_hotpath.json"
@@ -237,6 +241,15 @@ def generate(quick_only: bool = False) -> int:
         return 1
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
+    for label, sample in (("quick", quick), ("full", full)):
+        if sample is not None:
+            record_bench_history(
+                f"hotpath_{label}",
+                wall_seconds=float(sample["wall_s"]),
+                calib_ops_per_s=calib,
+                digest=str(sample["digest"]),
+                meta={"refs": sample["refs"]},
+            )
     return 0
 
 
@@ -266,6 +279,13 @@ def check(quick: bool = True) -> int:
     )
     cur_norm = normalized(sample, calib)
     ratio = cur_norm / ref_norm
+    record_bench_history(
+        f"hotpath_{label}",
+        wall_seconds=float(sample["wall_s"]),
+        calib_ops_per_s=calib,
+        digest=str(sample["digest"]),
+        meta={"refs": sample["refs"], "mode": "check"},
+    )
     print(
         f"{label}: digest ok; normalized cycles/sec {cur_norm:.4f} vs "
         f"committed {ref_norm:.4f} ({ratio:.2f}x; calib {calib:,.0f} ops/s)"

@@ -47,7 +47,13 @@ from repro.campaign.progress import CampaignProgress
 from repro.campaign.spec import Cell
 from repro.experiments.runner import _CACHED_FIELDS, ResultCache
 from repro.metrics.collectors import ResultMatrix
+from repro.obs import telemetry as _telemetry
+from repro.obs.telemetry import publish_system
 from repro.system import SimulationResult, System, SystemConfig
+
+#: worker telemetry spec shipped to the child process:
+#: (spool_dir, worker_name, heartbeat_interval)
+TelemetrySpec = Tuple[str, str, float]
 
 #: a cell runner maps (cell, attempt) -> summary dict (the _CACHED_FIELDS
 #: projection); it must be a module-level callable so spawn can pickle it
@@ -103,7 +109,14 @@ def execute_cell(
         scheme_kwargs=cell.scheme_kwargs,
         tracer=tracer,
     )
-    result = system.run()
+    # Hand the live system to the telemetry sampler thread, if one is
+    # armed for this process (a single is-None check otherwise — the
+    # hot-path digests stay byte-identical with telemetry disabled).
+    publish_system(system)
+    try:
+        result = system.run()
+    finally:
+        publish_system(None)
     if report_dir is not None:
         from repro.obs import build_run_report
 
@@ -131,6 +144,16 @@ class CampaignOptions:
     resume: bool = False
     progress: bool = False
     start_method: Optional[str] = None  # default: fork if available, else spawn
+    #: write per-worker heartbeat spools (implied by watch/telemetry_port)
+    telemetry: bool = False
+    #: spool directory; default ``<manifest>.telemetry`` next to the manifest
+    telemetry_dir: Optional[str] = None
+    #: seconds between heartbeats
+    telemetry_interval: float = _telemetry.DEFAULT_INTERVAL
+    #: serve /snapshot and /metrics on this port (0 = ephemeral)
+    telemetry_port: Optional[int] = None
+    #: render the live terminal status board in the campaign process
+    watch: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -139,6 +162,17 @@ class CampaignOptions:
             raise ValueError("retries must be >= 0")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        if self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return (
+            self.telemetry
+            or self.watch
+            or self.telemetry_dir is not None
+            or self.telemetry_port is not None
+        )
 
 
 @dataclass
@@ -212,8 +246,17 @@ def matrix_digest(matrix: ResultMatrix) -> str:
 # ----------------------------------------------------------------------
 
 
-def _worker_loop(conn: Any, runner: CellRunner) -> None:
+def _worker_loop(
+    conn: Any, runner: CellRunner, telemetry: Optional[TelemetrySpec] = None
+) -> None:
     """Worker process body: run cells off the pipe until told to stop."""
+    wt = None
+    if telemetry is not None:
+        spool_dir, worker_name, interval = telemetry
+        try:
+            wt = _telemetry.activate_worker(spool_dir, worker_name, interval)
+        except OSError:
+            wt = None  # unwritable spool dir: run blind, never refuse work
     while True:
         try:
             task = conn.recv()
@@ -222,6 +265,8 @@ def _worker_loop(conn: Any, runner: CellRunner) -> None:
         if task is None:
             break
         cell, attempt = task
+        if wt is not None:
+            wt.cell_start(cell, attempt)
         t0 = time.perf_counter()
         try:
             summary = runner(cell, attempt)
@@ -243,10 +288,14 @@ def _worker_loop(conn: Any, runner: CellRunner) -> None:
                 error,
                 time.perf_counter() - t0,
             )
+        if wt is not None:
+            wt.cell_end(payload[0], payload[2])
         try:
             conn.send(payload)
         except (BrokenPipeError, OSError):
             break
+    if wt is not None:
+        _telemetry.deactivate_worker()
     try:
         conn.close()
     except OSError:
@@ -260,10 +309,15 @@ def _default_start_method() -> str:
 class _Worker:
     """One pool slot: a process, its pipe, and the task it is running."""
 
-    def __init__(self, ctx: Any, runner: CellRunner) -> None:
+    def __init__(
+        self,
+        ctx: Any,
+        runner: CellRunner,
+        telemetry: Optional[TelemetrySpec] = None,
+    ) -> None:
         parent_conn, child_conn = ctx.Pipe()
         self.proc = ctx.Process(
-            target=_worker_loop, args=(child_conn, runner), daemon=True
+            target=_worker_loop, args=(child_conn, runner, telemetry), daemon=True
         )
         self.proc.start()
         child_conn.close()
@@ -329,13 +383,20 @@ class _Driver:
         manifest: Optional[Manifest],
         progress: CampaignProgress,
         report_dir: Optional[str] = None,
+        telemetry_dir: Optional[str] = None,
     ) -> None:
         self.opts = opts
         self.cache = cache
         self.manifest = manifest
         self.progress = progress
         self.report_dir = report_dir
+        self.telemetry_dir = telemetry_dir
         self.records: Dict[str, CellRecord] = {}
+
+    def _worker_telemetry(self, slot: int) -> Optional[TelemetrySpec]:
+        if self.telemetry_dir is None:
+            return None
+        return (self.telemetry_dir, f"w{slot}", self.opts.telemetry_interval)
 
     def record(self, rec: CellRecord, source: str = "executed") -> None:
         if (
@@ -411,50 +472,73 @@ class _Driver:
         Per-attempt timeouts need a separate process to interrupt; with one
         job the attempt runs inline and ``timeout`` is not enforced.
         """
-        for cell in pending:
-            attempt = 1
-            while True:
-                t0 = time.perf_counter()
-                try:
-                    summary = runner(cell, attempt)
-                    self.record(
-                        CellRecord(
-                            cell_id=cell.cell_id,
-                            workload=cell.workload,
-                            scheme=cell.scheme,
-                            status=STATUS_OK,
-                            attempts=attempt,
-                            elapsed=time.perf_counter() - t0,
-                            summary=summary,
+        wt = None
+        if self.telemetry_dir is not None:
+            # one job: the "worker" heartbeats come from this process
+            try:
+                wt = _telemetry.activate_worker(
+                    self.telemetry_dir, "w0", self.opts.telemetry_interval
+                )
+            except OSError:
+                wt = None
+        try:
+            for cell in pending:
+                attempt = 1
+                while True:
+                    if wt is not None:
+                        wt.cell_start(cell, attempt)
+                    t0 = time.perf_counter()
+                    try:
+                        summary = runner(cell, attempt)
+                        elapsed = time.perf_counter() - t0
+                        if wt is not None:
+                            wt.cell_end(STATUS_OK, elapsed)
+                        self.record(
+                            CellRecord(
+                                cell_id=cell.cell_id,
+                                workload=cell.workload,
+                                scheme=cell.scheme,
+                                status=STATUS_OK,
+                                attempts=attempt,
+                                elapsed=elapsed,
+                                summary=summary,
+                            )
                         )
-                    )
-                    break
-                except Exception as exc:
-                    elapsed = time.perf_counter() - t0
-                    diagnosis = getattr(exc, "report", None)
-                    if not (isinstance(diagnosis, dict) and diagnosis):
-                        diagnosis = None
-                    # A diagnosed integrity failure is deterministic - the
-                    # same wedge or violation will recur - so retrying only
-                    # multiplies the loss.  Record it terminal immediately.
-                    if diagnosis is None and attempt <= self.opts.retries:
-                        self.progress.retry(cell, attempt, f"{type(exc).__name__}: {exc}")
-                        time.sleep(self.opts.backoff * (2 ** (attempt - 1)))
-                        attempt += 1
-                        continue
-                    self.record(
-                        CellRecord(
-                            cell_id=cell.cell_id,
-                            workload=cell.workload,
-                            scheme=cell.scheme,
-                            status=STATUS_ERROR,
-                            attempts=attempt,
-                            elapsed=elapsed,
-                            error=f"{type(exc).__name__}: {exc}",
-                            diagnosis=diagnosis,
+                        break
+                    except Exception as exc:
+                        elapsed = time.perf_counter() - t0
+                        if wt is not None:
+                            wt.cell_end(STATUS_ERROR, elapsed)
+                        diagnosis = getattr(exc, "report", None)
+                        if not (isinstance(diagnosis, dict) and diagnosis):
+                            diagnosis = None
+                        # A diagnosed integrity failure is deterministic -
+                        # the same wedge or violation will recur - so
+                        # retrying only multiplies the loss.  Record it
+                        # terminal immediately.
+                        if diagnosis is None and attempt <= self.opts.retries:
+                            self.progress.retry(
+                                cell, attempt, f"{type(exc).__name__}: {exc}"
+                            )
+                            time.sleep(self.opts.backoff * (2 ** (attempt - 1)))
+                            attempt += 1
+                            continue
+                        self.record(
+                            CellRecord(
+                                cell_id=cell.cell_id,
+                                workload=cell.workload,
+                                scheme=cell.scheme,
+                                status=STATUS_ERROR,
+                                attempts=attempt,
+                                elapsed=elapsed,
+                                error=f"{type(exc).__name__}: {exc}",
+                                diagnosis=diagnosis,
+                            )
                         )
-                    )
-                    break
+                        break
+        finally:
+            if wt is not None:
+                _telemetry.deactivate_worker()
 
     # ------------------------------------------------------------------
     def run_pool(self, pending: Sequence[Cell], runner: CellRunner) -> None:
@@ -465,7 +549,8 @@ class _Driver:
         retries: List[Tuple[float, int, Cell, int]] = []  # (due, tiebreak, cell, attempt)
         tiebreak = 0
         workers = [
-            _Worker(ctx, runner) for _ in range(min(opts.jobs, len(pending)))
+            _Worker(ctx, runner, telemetry=self._worker_telemetry(i))
+            for i in range(min(opts.jobs, len(pending)))
         ]
         try:
             while tasks or retries or any(w.busy for w in workers):
@@ -477,7 +562,11 @@ class _Driver:
                 for i, w in enumerate(workers):
                     if not w.busy and not w.alive and (tasks or retries):
                         w.kill()
-                        workers[i] = _Worker(ctx, runner)
+                        # same slot name: the respawn appends a fresh header
+                        # (new generation) to the same spool file
+                        workers[i] = _Worker(
+                            ctx, runner, telemetry=self._worker_telemetry(i)
+                        )
                 for w in workers:
                     if tasks and not w.busy and w.alive:
                         cell, attempt = tasks.popleft()
@@ -614,14 +703,84 @@ def run_campaign(
         unique.setdefault(cell.cell_id, cell)
     ordered = list(unique.values())
     if manifest is not None and not opts.resume:
-        manifest.reset()
+        manifest.reset(meta={"cells": len(ordered), "jobs": opts.jobs})
     progress = CampaignProgress(
         total=len(ordered), jobs=opts.jobs, enabled=opts.progress
     )
-    driver = _Driver(opts, cache, manifest, progress, report_dir=report_dir)
+
+    telemetry_dir: Optional[str] = None
+    if opts.telemetry_enabled:
+        from pathlib import Path
+
+        if opts.telemetry_dir is not None:
+            tdir = Path(opts.telemetry_dir)
+        elif manifest is not None:
+            tdir = _telemetry.spool_dir_for(manifest.path)
+        else:
+            raise ValueError(
+                "telemetry needs a manifest (spools live next to it) or an "
+                "explicit telemetry_dir"
+            )
+        tdir.mkdir(parents=True, exist_ok=True)
+        telemetry_dir = str(tdir)
+
+    driver = _Driver(
+        opts,
+        cache,
+        manifest,
+        progress,
+        report_dir=report_dir,
+        telemetry_dir=telemetry_dir,
+    )
+
+    # Parent-side telemetry consumers: driver spool (campaign totals for
+    # out-of-process monitors), live board, HTTP endpoint.  All are daemon
+    # threads torn down in the finally block; none touches the simulation.
+    consumers: List[Any] = []
+    stats_extra: Dict[str, Any] = {}
+    if telemetry_dir is not None:
+        consumers.append(
+            _telemetry.DriverTelemetry(
+                telemetry_dir, progress.status, opts.telemetry_interval
+            ).start()
+        )
+        if opts.watch or opts.telemetry_port is not None:
+            aggregator = _telemetry.TelemetryAggregator(
+                telemetry_dir,
+                manifest_path=manifest.path if manifest is not None else None,
+            )
+
+            def snapshot_fn() -> dict:
+                snap = aggregator.refresh().to_snapshot()
+                # in-process totals beat the (slightly lagged) driver spool
+                snap["campaign"] = progress.status()
+                return snap
+
+            if opts.telemetry_port is not None:
+                server = _telemetry.TelemetryServer(
+                    snapshot_fn, port=opts.telemetry_port
+                ).start()
+                consumers.append(server)
+                stats_extra["telemetry_port"] = server.port
+                if opts.progress or opts.watch:
+                    print(
+                        f"telemetry: {server.url}/snapshot and "
+                        f"{server.url}/metrics",
+                        flush=True,
+                    )
+            if opts.watch:
+                from repro.obs.watch import WatchBoard
+
+                consumers.append(
+                    WatchBoard(
+                        snapshot_fn,
+                        interval=max(0.5, opts.telemetry_interval),
+                    ).start()
+                )
+
     t0 = time.perf_counter()
-    pending = driver.prepare(ordered)
     try:
+        pending = driver.prepare(ordered)
         if pending:
             if opts.jobs == 1:
                 driver.run_serial(pending, runner)
@@ -630,6 +789,11 @@ def run_campaign(
     finally:
         if cache is not None:
             cache.flush()
+        for consumer in reversed(consumers):
+            try:
+                consumer.stop()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
     stats = {
         "total": len(ordered),
         "ok": progress.ok,
@@ -638,6 +802,7 @@ def run_campaign(
         "cached": progress.cached,
         "resumed": progress.resumed,
         "retried": progress.retried,
+        **stats_extra,
     }
     return CampaignResult(
         cells=ordered,

@@ -7,10 +7,14 @@ the cells that never finished (or that finished with an error).
 
 File layout::
 
-    {"kind": "header", "version": 1}
+    {"kind": "header", "version": 1, "cells": 8, "jobs": 4}
     {"cell_id": "...", "workload": "HM1", "scheme": "base", "status": "ok",
      "attempts": 1, "elapsed": 1.93, "summary": {...}}
     {"cell_id": "...", ..., "status": "timeout", "error": "..."}
+
+The header may carry campaign metadata (cell count, worker count) so live
+monitors (``repro monitor``) can report progress against a known total;
+readers ignore keys they do not understand.
 
 A header with an unknown version invalidates the whole file (it is rewritten
 fresh rather than mixing incompatible records); unreadable lines are skipped,
@@ -118,16 +122,38 @@ class Manifest:
             out[rec.cell_id] = rec
         return out
 
+    def header(self) -> Optional[dict]:
+        """The parsed header line, or None for a missing/invalid manifest."""
+        try:
+            with open(self.path) as fh:
+                first = fh.readline()
+        except OSError:
+            return None
+        try:
+            raw = json.loads(first)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(raw, dict) or raw.get("kind") != "header":
+            return None
+        if raw.get("version") != MANIFEST_VERSION:
+            return None
+        return raw
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Start a fresh manifest (header only), discarding old records."""
+    def reset(self, meta: Optional[dict] = None) -> None:
+        """Start a fresh manifest (header only), discarding old records.
+
+        ``meta`` keys (e.g. ``cells``, ``jobs``) are merged into the header
+        for consumers that want campaign totals without scanning records.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"kind": "header", "version": MANIFEST_VERSION}
+        if meta:
+            header.update({k: v for k, v in meta.items() if k not in header})
         with open(self.path, "w") as fh:
-            fh.write(
-                json.dumps({"kind": "header", "version": MANIFEST_VERSION}) + "\n"
-            )
+            fh.write(json.dumps(header) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
 

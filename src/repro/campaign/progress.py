@@ -62,7 +62,12 @@ class CampaignProgress:
             self.ok += 1
         else:
             self.failed += 1
-        if source == "cached":
+        # Cache hits and resumed cells must never feed the rate estimate:
+        # they complete in ~0s, so folding them into the mean would make
+        # ETAs on resumed/warm-cache campaigns wildly optimistic.  The
+        # record's own ``cached`` flag is honoured too, so a mislabelled
+        # source cannot leak a 0s sample into the mean.
+        if source == "cached" or getattr(record, "cached", False):
             self.cached += 1
         elif source == "resumed":
             self.resumed += 1
@@ -97,12 +102,43 @@ class CampaignProgress:
 
     # ------------------------------------------------------------------
     def eta_seconds(self) -> Optional[float]:
-        """Remaining wall-clock estimate; None until one cell has run."""
+        """Remaining wall-clock estimate; None until one cell has *run*.
+
+        The mean cell runtime is computed over executed cells only — cached
+        and resumed cells are excluded (they finish in ~0s and would drag
+        the mean toward zero).  The mean is divided by the *effective*
+        parallelism ``min(jobs, remaining)``: with 3 cells left an 8-worker
+        pool runs at most 3 of them, so dividing by 8 would understate the
+        tail of every campaign.
+        """
         if self._executed == 0:
             return None
-        mean = self._elapsed_sum / self._executed
         remaining = self.total - self.done
-        return remaining * mean / self.jobs
+        if remaining <= 0:
+            return 0.0
+        mean = self._elapsed_sum / self._executed
+        return remaining * mean / min(self.jobs, remaining)
+
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since the campaign started."""
+        return time.monotonic() - self._t0
+
+    def status(self) -> dict:
+        """JSON-ready campaign totals for telemetry consumers."""
+        eta = self.eta_seconds()
+        return {
+            "total": self.total,
+            "done": self.done,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cached": self.cached,
+            "resumed": self.resumed,
+            "retried": self.retried,
+            "executed": self._executed,
+            "jobs": self.jobs,
+            "eta_seconds": round(eta, 3) if eta is not None else None,
+            "wall_seconds": round(self.wall_seconds(), 3),
+        }
 
     def snapshot(self) -> dict:
         return self.registry.snapshot()

@@ -7,8 +7,10 @@ Commands
 ``profile``  run one cell under cProfile; report events/sec and hot callbacks
 ``figure``   regenerate one of the paper's figures (5-9) as a table/CSV
 ``campaign`` run a (mixes x schemes) grid sharded across worker processes
+``monitor``  tail a running campaign's telemetry spools from another terminal
 ``report``   markdown figure report, or an HTML dashboard from RunReports
 ``diff``     compare two RunReport artifacts (deltas + subsystem attribution)
+``bench-trend`` flag benchmark regressions against BENCH_history.jsonl
 ``table``    print Table I (configuration) or Table II (workload mixes)
 ``schemes``  list the registered prefetching schemes
 ``trace``    generate a synthetic benchmark trace and print its statistics
@@ -26,6 +28,9 @@ Examples::
     python -m repro campaign --jobs 4 --refs 4000 --timeout 600 --retries 1
     python -m repro campaign --resume --jobs 4   # pick up where it stopped
     python -m repro campaign --report-dir reports --refs 2000
+    python -m repro campaign --jobs 4 --watch --telemetry-port 9100
+    python -m repro monitor .repro_campaign.jsonl      # from a 2nd terminal
+    python -m repro bench-trend --check
     python -m repro table 1
     python -m repro trace lbm --refs 10000
 """
@@ -329,7 +334,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             resume=args.resume,
-            progress=not args.quiet,
+            # the live board replaces the per-cell progress lines
+            progress=not args.quiet and not args.watch,
+            telemetry=args.telemetry,
+            telemetry_port=args.telemetry_port,
+            telemetry_interval=args.telemetry_interval,
+            watch=args.watch,
         ),
         # per-cell RunReports invalidate nothing, but a cache hit skips the
         # simulation that would write them - so reported campaigns bypass
@@ -347,6 +357,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"{st['failed']} failed"
     )
     print(f"manifest: {args.manifest}")
+    if args.telemetry or args.watch or args.telemetry_port is not None:
+        from repro.obs.telemetry import spool_dir_for
+
+        print(
+            f"telemetry spools: {spool_dir_for(args.manifest)}/ "
+            f"(live-tail with `repro monitor {args.manifest}`)"
+        )
     if args.report_dir:
         n = sum(1 for r in res.records.values() if r.report)
         print(f"run reports: {n} in {args.report_dir}/ "
@@ -370,6 +387,69 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Watch a running (or finished) campaign from outside its process.
+
+    Tails the per-worker telemetry spools and the manifest; exits once the
+    manifest reports every cell terminal (or immediately with ``--once``).
+    """
+    from repro.obs.watch import run_monitor
+
+    try:
+        run_monitor(
+            args.target,
+            interval=args.interval,
+            once=args.once,
+            as_json=args.json,
+            stale_after=args.stale_after,
+            max_seconds=args.max_seconds,
+        )
+    except FileNotFoundError as exc:
+        print(f"monitor: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def cmd_bench_trend(args: argparse.Namespace) -> int:
+    """Report benchmark trends from BENCH_history.jsonl; flag regressions
+    of the newest run against the rolling median of its predecessors."""
+    from repro.obs.trend import load_history, trend_report
+
+    entries = load_history(args.history)
+    if not entries:
+        print(f"bench-trend: no history at {args.history}", file=sys.stderr)
+        return 1 if args.check else 0
+    trends = trend_report(entries, window=args.window, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps([
+            {
+                "bench": t.bench,
+                "runs": t.runs,
+                "latest": t.latest,
+                "median": t.median,
+                "ratio": t.ratio,
+                "regressed": t.regressed,
+                "git_sha": t.latest_sha,
+            }
+            for t in trends
+        ]))
+    else:
+        print(f"bench history: {args.history} ({len(entries)} entries)")
+        for t in trends:
+            print(f"  {t.describe()}")
+    regressed = [t for t in trends if t.regressed]
+    if regressed and args.check:
+        print(
+            f"bench-trend: {len(regressed)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.0%} of the rolling median",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_table(args: argparse.Namespace) -> int:
     if args.number == "1":
         print(table1_text())
@@ -381,14 +461,25 @@ def cmd_table(args: argparse.Namespace) -> int:
 def cmd_diff(args: argparse.Namespace) -> int:
     """Compare two RunReport artifacts: metric deltas, subsystem
     attribution, and where the sampled series pull apart."""
-    from repro.obs import RunReport, diff_reports
+    from repro.obs import RunReport, diff_reports, has_series
 
-    d = diff_reports(RunReport.load(args.a), RunReport.load(args.b))
+    ra, rb = RunReport.load(args.a), RunReport.load(args.b)
+    # A one-sided series payload makes the series comparison meaningless
+    # (and used to crash on null payloads): degrade to the metric diff with
+    # a clear message and a nonzero exit so pipelines notice.
+    missing = [
+        path
+        for path, report in ((args.a, ra), (args.b, rb))
+        if not has_series(report)
+    ]
+    series_comparable = len(missing) != 1
+    d = diff_reports(ra, rb)
     if args.json:
         print(json.dumps({
             "a": d.a_label,
             "b": d.b_label,
             "top_subsystem": d.top_subsystem(),
+            "series_comparable": series_comparable,
             "subsystems": [
                 {"name": n, "score": s, "metrics": k} for n, s, k in d.subsystems
             ],
@@ -399,6 +490,14 @@ def cmd_diff(args: argparse.Namespace) -> int:
         }))
     else:
         print(d.to_text(max_counters=args.top))
+    if not series_comparable:
+        print(
+            f"diff: {missing[0]} has no series payload; series comparison "
+            "skipped (re-run it with `repro run --report` or `repro "
+            "campaign --report-dir` to sample series)",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -690,9 +789,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one RunReport artifact per executed cell into DIR "
         "(manifest records point at them; disables the result cache)",
     )
+    p_camp.add_argument(
+        "--watch", action="store_true",
+        help="live terminal status board (per-worker rows, ETA, stall "
+        "highlighting); replaces the per-cell progress lines",
+    )
+    p_camp.add_argument(
+        "--telemetry", action="store_true",
+        help="write per-worker heartbeat spools next to the manifest "
+        "(implied by --watch / --telemetry-port; tail with `repro monitor`)",
+    )
+    p_camp.add_argument(
+        "--telemetry-port", dest="telemetry_port", type=int, metavar="N",
+        help="serve live /snapshot JSON and /metrics Prometheus text on "
+        "this port (0 picks a free port)",
+    )
+    p_camp.add_argument(
+        "--telemetry-interval", dest="telemetry_interval", type=float,
+        default=0.5, metavar="SECONDS",
+        help="seconds between worker heartbeats (default 0.5)",
+    )
     _add_robustness_args(p_camp)
     p_camp.add_argument("--quiet", action="store_true")
     p_camp.set_defaults(fn=cmd_campaign)
+
+    p_mon = sub.add_parser(
+        "monitor",
+        help="tail a campaign's telemetry spools from another terminal/host",
+    )
+    p_mon.add_argument(
+        "target",
+        help="campaign manifest path, its .telemetry spool directory, or a "
+        "directory containing exactly one of either",
+    )
+    p_mon.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds (default 1)")
+    p_mon.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit")
+    p_mon.add_argument("--json", action="store_true",
+                       help="print the final snapshot as JSON")
+    p_mon.add_argument("--stale-after", dest="stale_after", type=float,
+                       default=5.0,
+                       help="flag a worker stalled after this many seconds "
+                       "without a heartbeat (default 5)")
+    p_mon.add_argument("--max-seconds", dest="max_seconds", type=float,
+                       default=None,
+                       help="stop monitoring after this long even if the "
+                       "campaign is still running")
+    p_mon.set_defaults(fn=cmd_monitor)
+
+    p_bt = sub.add_parser(
+        "bench-trend",
+        help="flag benchmark regressions against the rolling median of "
+        "BENCH_history.jsonl",
+    )
+    p_bt.add_argument("--history", default="BENCH_history.jsonl",
+                      help="history file benchmarks append to")
+    p_bt.add_argument("--window", type=int, default=8,
+                      help="prior runs feeding the rolling median (default 8)")
+    p_bt.add_argument("--tolerance", type=float, default=0.25,
+                      help="regression threshold as a fraction over the "
+                      "median (default 0.25)")
+    p_bt.add_argument("--check", action="store_true",
+                      help="exit nonzero when any benchmark regressed "
+                      "(or the history is missing)")
+    p_bt.add_argument("--json", action="store_true",
+                      help="machine-readable per-benchmark verdicts")
+    p_bt.set_defaults(fn=cmd_bench_trend)
 
     p_tab = sub.add_parser("table", help="print Table I or II")
     p_tab.add_argument("number", choices=["1", "2"])

@@ -43,9 +43,22 @@ from repro.obs.report import (
     ReportDiff,
     build_run_report,
     diff_reports,
+    has_series,
+)
+from repro.obs.promtext import parse_exposition, render_metrics
+from repro.obs.telemetry import (
+    CampaignView,
+    JsonlTailer,
+    TelemetryAggregator,
+    TelemetryServer,
+    TelemetrySpool,
+    WorkerTelemetry,
+    publish_system,
+    spool_dir_for,
 )
 from repro.obs.timeseries import DEFAULT_EPOCH, Series, TimeseriesSampler
 from repro.obs.tracer import Tracer
+from repro.obs.trend import append_entry, load_history, trend_report
 
 __all__ = [
     "Tracer",
@@ -66,6 +79,20 @@ __all__ = [
     "ReportDiff",
     "build_run_report",
     "diff_reports",
+    "has_series",
     "render_html",
     "write_html",
+    "TelemetrySpool",
+    "JsonlTailer",
+    "TelemetryAggregator",
+    "TelemetryServer",
+    "WorkerTelemetry",
+    "CampaignView",
+    "publish_system",
+    "spool_dir_for",
+    "render_metrics",
+    "parse_exposition",
+    "append_entry",
+    "load_history",
+    "trend_report",
 ]

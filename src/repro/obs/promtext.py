@@ -1,0 +1,287 @@
+"""Prometheus text exposition for campaign telemetry snapshots.
+
+:func:`render_metrics` turns a :meth:`CampaignView.to_snapshot
+<repro.obs.telemetry.CampaignView.to_snapshot>` dict into the Prometheus
+text exposition format (version 0.0.4) served at ``/metrics``.
+:func:`parse_exposition` is a strict-enough parser used by the tests and the
+CI smoke job to assert the output is actually scrapeable — every sample line
+must match the exposition grammar and agree with its ``# TYPE`` declaration.
+
+All metrics are gauges (campaign state is a snapshot, and counters reset
+when a campaign restarts); the ``repro_`` prefix namespaces them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one sample line: name{labels} value  (labels optional)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _fmt_value(value: object) -> Optional[str]:
+    try:
+        num = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+    if math.isnan(num):
+        return "NaN"
+    if math.isinf(num):
+        return "+Inf" if num > 0 else "-Inf"
+    if num == int(num) and abs(num) < 1e15:
+        return str(int(num))
+    return repr(num)
+
+
+def _sanitize(name: str) -> str:
+    """Fold an arbitrary counter/gauge name into a metric-safe suffix."""
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not out or not _METRIC_RE.match(out):
+        out = "_" + out
+    return out
+
+
+class _Family:
+    """One metric family: HELP/TYPE header plus its sample lines."""
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self.samples: List[str] = []
+
+    def add(self, value: object, labels: Optional[Dict[str, str]] = None) -> None:
+        text = _fmt_value(value)
+        if text is None:
+            return
+        if labels:
+            inner = ",".join(
+                f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+            )
+            self.samples.append(f"{self.name}{{{inner}}} {text}")
+        else:
+            self.samples.append(f"{self.name} {text}")
+
+    def render(self) -> List[str]:
+        if not self.samples:
+            return []
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+            *self.samples,
+        ]
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Render a telemetry snapshot as Prometheus text exposition."""
+    fams: Dict[str, _Family] = {}
+
+    def fam(name: str, help_text: str) -> _Family:
+        f = fams.get(name)
+        if f is None:
+            f = fams[name] = _Family(name, help_text)
+        return f
+
+    campaign = snapshot.get("campaign") or {}
+    for key in ("total", "done", "ok", "failed", "cached", "resumed", "retried"):
+        if key in campaign:
+            fam(
+                f"repro_campaign_cells_{key}",
+                f"Campaign cells in state '{key}' (from the driver process).",
+            ).add(campaign[key])
+    if campaign.get("eta_seconds") is not None:
+        fam(
+            "repro_campaign_eta_seconds",
+            "Estimated wall-clock seconds until the campaign completes.",
+        ).add(campaign["eta_seconds"])
+    if campaign.get("wall_seconds") is not None:
+        fam(
+            "repro_campaign_wall_seconds",
+            "Wall-clock seconds since the campaign started.",
+        ).add(campaign["wall_seconds"])
+
+    manifest = snapshot.get("manifest") or {}
+    for key, value in sorted(manifest.items()):
+        fam(
+            f"repro_manifest_cells_{key}",
+            f"Terminal cells counted as '{key}' in the manifest.",
+        ).add(value)
+
+    workers = snapshot.get("workers") or []
+    w_age = fam(
+        "repro_worker_heartbeat_age_seconds",
+        "Seconds since the worker's newest heartbeat.",
+    )
+    w_stalled = fam(
+        "repro_worker_stalled",
+        "1 when the worker looks wedged (stale, frozen cycle, or watchdog).",
+    )
+    w_cells = fam(
+        "repro_worker_cells_done",
+        "Cells this worker has driven to a terminal state.",
+    )
+    w_rss = fam("repro_worker_rss_bytes", "Worker resident set size.")
+    w_cycle = fam(
+        "repro_worker_sim_cycle", "Current simulation cycle of the running cell."
+    )
+    w_events = fam(
+        "repro_worker_sim_events",
+        "Events scheduled so far in the running cell's engine.",
+    )
+    w_eps = fam(
+        "repro_worker_events_per_second",
+        "Live event-scheduling rate of the running cell.",
+    )
+    w_info = fam(
+        "repro_worker_info",
+        "Identity of each worker's running cell (value is always 1).",
+    )
+    w_counter = fam(
+        "repro_worker_counter",
+        "Retry/fault/integrity counters sampled from the worker's simulator.",
+    )
+    w_gauge = fam(
+        "repro_worker_gauge",
+        "Latest value of each attached timeseries gauge.",
+    )
+    for worker in workers:
+        labels = {"worker": str(worker.get("worker", "?"))}
+        w_age.add(worker.get("age_seconds"), labels)
+        w_stalled.add(1 if worker.get("stalled") else 0, labels)
+        w_cells.add((worker.get("cells") or {}).get("done", 0), labels)
+        w_rss.add(worker.get("rss"), labels)
+        if "cycle" in worker:
+            w_cycle.add(worker["cycle"], labels)
+        if "events" in worker:
+            w_events.add(worker["events"], labels)
+        if "eps" in worker:
+            w_eps.add(worker["eps"], labels)
+        info = {**labels, "phase": str(worker.get("phase", "unknown"))}
+        cell = worker.get("cell") or {}
+        if cell:
+            info["workload"] = str(cell.get("workload", "?"))
+            info["scheme"] = str(cell.get("scheme", "?"))
+        w_info.add(1, info)
+        for name, value in sorted((worker.get("counters") or {}).items()):
+            w_counter.add(value, {**labels, "counter": _sanitize(name)})
+        for name, value in sorted((worker.get("gauges") or {}).items()):
+            w_gauge.add(value, {**labels, "gauge": _sanitize(name)})
+
+    lines: List[str] = []
+    for name in sorted(fams):
+        lines.extend(fams[name].render())
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Validation (tests / CI smoke)
+# ----------------------------------------------------------------------
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Parse exposition text; raise ``ValueError`` on any malformed line.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples":
+    [(labels_dict, float_value), ...]}}``.  Enforces the parts of the format
+    a scraper depends on: metric/label name grammar, quoted+escaped label
+    values, parseable float values, and TYPE declared before samples.
+    """
+    families: Dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+            families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []}
+            )["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown type {parts[3]!r}")
+            families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []}
+            )["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels"), lineno)
+        raw = m.group("value")
+        try:
+            value = float(raw)  # accepts NaN / +Inf / -Inf spellings too
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {raw!r}")
+        family = families.get(name)
+        if family is None or family["type"] is None:
+            raise ValueError(f"line {lineno}: sample before TYPE for {name!r}")
+        family["samples"].append((labels, value))
+    return families
+
+
+def _parse_labels(raw: Optional[str], lineno: int) -> Dict[str, str]:
+    if not raw:
+        return {}
+    out: Dict[str, str] = {}
+    # split on commas not inside quotes
+    parts: List[str] = []
+    depth_quote = False
+    current = ""
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and depth_quote:
+            current += raw[i : i + 2]
+            i += 2
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if current:
+        parts.append(current)
+    for part in parts:
+        m = _LABEL_PAIR_RE.match(part)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed label pair {part!r}")
+        key = m.group("key")
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"line {lineno}: bad label name {key!r}")
+        out[key] = (
+            m.group("value")
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+    return out

@@ -300,7 +300,22 @@ class ReportDiff:
 
 
 def _series_map(report: RunReport) -> Dict[str, Dict[str, Any]]:
-    return report.series.get("series", {}) if report.series else {}
+    """Inner ``name -> samples`` map, tolerating degenerate payloads.
+
+    Hand-edited or partially-written artifacts can carry ``"series": null``
+    (outer or inner) — treat every non-dict shape as "no series" rather
+    than raising mid-diff.
+    """
+    outer = report.series
+    if not isinstance(outer, dict):
+        return {}
+    inner = outer.get("series")
+    return inner if isinstance(inner, dict) else {}
+
+
+def has_series(report: RunReport) -> bool:
+    """True when the report carries at least one sampled series."""
+    return bool(_series_map(report))
 
 
 def _diverge(name: str, sa: Dict[str, Any], sb: Dict[str, Any]) -> SeriesDivergence:

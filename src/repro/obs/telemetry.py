@@ -1,0 +1,833 @@
+"""Live campaign telemetry: heartbeat spools, tailing, and aggregation.
+
+A running campaign is observable through per-worker *spool files* written
+next to the manifest.  Each worker process appends one compact JSON record
+(a *heartbeat*) every ``interval`` seconds plus one record at every cell
+boundary; the parent process — or a second terminal, or another host over a
+shared filesystem — tails the spools with :class:`TelemetryAggregator` and
+merges them into a single live :class:`CampaignView`.  Three consumers ship
+on top of that view: ``repro campaign --watch`` (:mod:`repro.obs.watch`),
+``repro monitor`` (same module, out of process), and ``--telemetry-port``
+(:class:`TelemetryServer` serving ``/snapshot`` JSON and ``/metrics``
+Prometheus text, see :mod:`repro.obs.promtext`).
+
+Zero-cost contract
+------------------
+Telemetry follows the same rules as the rest of :mod:`repro.obs`:
+
+* **Disabled** (no ``--watch`` / ``--telemetry`` / ``--telemetry-port``): no
+  sampler thread exists and the only residue on the hot path is
+  :func:`publish_system`'s single ``is None`` check per cell — the pinned
+  hot-path digests are byte-identical.
+* **Enabled**: sampling is *pull*-based.  A daemon thread wakes every
+  ``interval`` seconds and reads live engine state (``engine.now`` and the
+  monotonic schedule counter ``engine._seq`` both advance during
+  :meth:`~repro.sim.engine.Engine.run`) under the GIL; nothing is written
+  into the simulation, no engine events are scheduled, so event order and
+  ``events_fired`` — and therefore the pinned digests — are unchanged.
+  ``benchmarks/bench_telemetry_overhead.py`` enforces digest parity and the
+  < 2 % paired overhead bound in CI.
+
+Spool format
+------------
+One JSONL file per worker, ``telemetry-<worker>.jsonl``::
+
+    {"kind": "header", "version": 1, "worker": "w0", "pid": 4242, "gen": "3f9c0a"}
+    {"seq": 1, "ts": 1754556000.1, "phase": "start", "cell": {...}, ...}
+    {"seq": 2, "ts": 1754556000.6, "phase": "running", "cycle": 51200, ...}
+    {"seq": 3, "ts": 1754556001.9, "phase": "end", "status": "ok", ...}
+
+Heartbeats carry *cumulative* worker state (``cells`` done/ok/failed
+counters), never deltas, so a reader that misses records — torn trailing
+line, crash, rotation — converges to the correct totals from any later
+record.  ``gen`` identifies one writer session; a respawned worker (or a
+rotation) appends a fresh header with a new ``gen``, and readers de-duplicate
+by ``(gen, seq)``.  Rotation keeps the file bounded: when it exceeds
+``max_bytes`` the writer atomically replaces it (``os.replace``) with a new
+header — safe because state is cumulative.  The manifest stays the
+authoritative exactly-once record of terminal cells; spools are a live,
+lossy-but-convergent overlay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+TELEMETRY_VERSION = 1
+
+SPOOL_PREFIX = "telemetry-"
+SPOOL_SUFFIX = ".jsonl"
+
+#: worker-name of the parent-process spool (campaign-level totals and ETA)
+DRIVER_WORKER = "driver"
+
+#: seconds between heartbeats
+DEFAULT_INTERVAL = 0.5
+
+#: rotate a spool once it grows past this (cumulative records make the
+#: history disposable, so the bound can be tight)
+DEFAULT_MAX_SPOOL_BYTES = 512 * 1024
+
+#: a worker whose newest heartbeat is older than this is flagged stale
+DEFAULT_STALE_AFTER = 5.0
+
+#: consecutive same-cycle running heartbeats before a worker is flagged
+#: frozen (the cell's sim-clock stopped advancing between samples)
+FROZEN_SAMPLES = 4
+
+
+def spool_dir_for(manifest_path: Union[str, Path]) -> Path:
+    """Canonical spool directory for a campaign manifest path."""
+    return Path(str(manifest_path) + ".telemetry")
+
+
+def spool_path(spool_dir: Union[str, Path], worker: str) -> Path:
+    return Path(spool_dir) / f"{SPOOL_PREFIX}{worker}{SPOOL_SUFFIX}"
+
+
+def rss_bytes() -> int:
+    """Resident set size of this process in bytes (0 if unreadable)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        return peak * 1024 if peak < 1 << 40 else peak
+    except Exception:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Spool writer
+# ----------------------------------------------------------------------
+
+
+class TelemetrySpool:
+    """Crash-safe append-only heartbeat writer for one worker.
+
+    Every record is flushed to the OS immediately; cell-boundary records are
+    additionally fsynced (same durability split as the manifest: boundaries
+    are rare and precious, heartbeats are frequent and replaceable).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        worker: str,
+        max_bytes: int = DEFAULT_MAX_SPOOL_BYTES,
+    ) -> None:
+        self.path = Path(path)
+        self.worker = worker
+        self.max_bytes = max_bytes
+        self.gen = ""
+        self._seq = 0
+        self._fh: Optional[Any] = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._open(fresh=not self.path.exists())
+
+    def _header(self) -> dict:
+        return {
+            "kind": "header",
+            "version": TELEMETRY_VERSION,
+            "worker": self.worker,
+            "pid": os.getpid(),
+            "gen": self.gen,
+        }
+
+    def _open(self, fresh: bool) -> None:
+        """(Re)open the spool and start a new generation.
+
+        A surviving file is appended to — the new header line mid-file tells
+        readers a new writer session began (worker respawn) without
+        discarding records a tailer may not have consumed yet.
+        """
+        self.gen = uuid.uuid4().hex[:12]
+        self._seq = 0
+        mode = "w" if fresh else "a"
+        self._fh = open(self.path, mode)
+        self._fh.write(json.dumps(self._header()) + "\n")
+        self._fh.flush()
+
+    def append(self, record: dict, durable: bool = False) -> None:
+        """Write one heartbeat; rotates first if the spool is over budget."""
+        fh = self._fh
+        if fh is None:
+            return
+        try:
+            if fh.tell() > self.max_bytes:
+                self._rotate()
+                fh = self._fh
+            self._seq += 1
+            fh.write(json.dumps({"seq": self._seq, **record}) + "\n")
+            fh.flush()
+            if durable:
+                os.fsync(fh.fileno())
+        except (OSError, ValueError):  # pragma: no cover - disk trouble
+            pass  # telemetry must never take the campaign down
+
+    def _rotate(self) -> None:
+        """Atomically replace the spool with a fresh single-header file.
+
+        Heartbeat state is cumulative, so dropping history loses nothing a
+        later record will not re-assert; readers notice the inode change and
+        restart from offset zero in the new generation.
+        """
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self.gen = uuid.uuid4().hex[:12]
+        self._seq = 0
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(self._header()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                pass
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Tailing
+# ----------------------------------------------------------------------
+
+
+class JsonlTailer:
+    """Incremental reader of a growing JSONL file.
+
+    Each :meth:`poll` returns the records appended since the last poll.
+    Handles the three failure shapes the spool/manifest writers can produce:
+
+    * **torn trailing line** — an incomplete final line (no newline yet) is
+      buffered, not parsed; it is emitted once the writer completes it;
+    * **record appended mid-read** — only complete newline-terminated lines
+      are consumed, so a concurrent append is picked up whole next poll;
+    * **rotation / truncation** — an inode change or a shrink below the
+      current offset resets the tailer to offset zero of the new file.
+
+    Unparseable *complete* lines (torn by a crash mid-file) are skipped, as
+    the manifest reader does.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._pos = 0
+        self._buf = b""
+        self._sig: Optional[Tuple[int, int]] = None  # (st_dev, st_ino)
+
+    def _reset(self) -> None:
+        self._pos = 0
+        self._buf = b""
+
+    def poll(self) -> List[dict]:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            self._reset()
+            self._sig = None
+            return []
+        sig = (st.st_dev, st.st_ino)
+        if sig != self._sig or st.st_size < self._pos:
+            self._reset()
+            self._sig = sig
+        if st.st_size <= self._pos:
+            return []
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._pos)
+                chunk = fh.read()
+        except OSError:
+            return []
+        self._pos += len(chunk)
+        data = self._buf + chunk
+        lines = data.split(b"\n")
+        self._buf = lines.pop()  # torn trailing line (b"" when newline-final)
+        out: List[dict] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(rec, dict):
+                out.append(rec)
+        return out
+
+
+class SpoolTailer:
+    """A :class:`JsonlTailer` that understands spool generations.
+
+    Header lines switch the current ``(worker, pid, gen)``; data records are
+    de-duplicated by ``(gen, seq)`` — append-only writers emit monotonically
+    increasing ``seq`` per generation, so a re-read from offset zero (after
+    rotation detection) can never double-count a record.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._tailer = JsonlTailer(path)
+        self.worker: Optional[str] = None
+        self.pid: Optional[int] = None
+        self.gen: Optional[str] = None
+        self._last_seq: Dict[str, int] = {}
+
+    def poll(self) -> List[dict]:
+        out: List[dict] = []
+        for rec in self._tailer.poll():
+            if rec.get("kind") == "header":
+                if rec.get("version") != TELEMETRY_VERSION:
+                    self.gen = None  # unknown format: ignore its records
+                    continue
+                self.worker = rec.get("worker", self.worker)
+                self.pid = rec.get("pid", self.pid)
+                self.gen = rec.get("gen")
+                continue
+            if self.gen is None:
+                continue  # data before any valid header
+            seq = rec.get("seq")
+            if isinstance(seq, int):
+                if seq <= self._last_seq.get(self.gen, 0):
+                    continue  # already consumed (re-read after rotation)
+                self._last_seq[self.gen] = seq
+            rec = dict(rec)
+            rec["worker"] = self.worker
+            rec["pid"] = self.pid
+            rec["gen"] = self.gen
+            out.append(rec)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Worker-side sampler
+# ----------------------------------------------------------------------
+
+
+class WorkerTelemetry:
+    """Heartbeat producer for one worker process (or the serial driver).
+
+    A daemon thread samples every ``interval`` seconds; cell boundaries emit
+    immediately.  The live :class:`~repro.system.System` is published by
+    :func:`publish_system` from inside the cell runner; the sampler only
+    *reads* it (``engine.now`` / ``engine._seq`` advance during the run), so
+    the simulation never observes the telemetry.
+    """
+
+    def __init__(
+        self,
+        spool: TelemetrySpool,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        self.spool = spool
+        self.interval = interval
+        self.system: Optional[Any] = None  # published by the cell runner
+        self.cell: Optional[dict] = None
+        self.cells_done = 0
+        self.cells_ok = 0
+        self.cells_failed = 0
+        self._last_events: Optional[int] = None
+        self._last_wall = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "WorkerTelemetry":
+        self.spool.append(self._record("idle"))
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.spool.append(self._record("exit"), durable=True)
+        self.spool.close()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.spool.append(self._record("running" if self.cell else "idle"))
+            except Exception:  # pragma: no cover - never kill the worker
+                pass
+
+    # -- cell boundaries ----------------------------------------------
+    def cell_start(self, cell: Any, attempt: int) -> None:
+        self.cell = {
+            "id": cell.cell_id,
+            "workload": cell.workload,
+            "scheme": cell.scheme,
+            "attempt": attempt,
+        }
+        self._last_events = None
+        self.spool.append(self._record("start"))
+
+    def cell_end(self, status: str, elapsed: float) -> None:
+        self.cells_done += 1
+        if status == "ok":
+            self.cells_ok += 1
+        else:
+            self.cells_failed += 1
+        rec = self._record("end")
+        rec["status"] = status
+        rec["elapsed"] = round(elapsed, 3)
+        self.spool.append(rec, durable=True)
+        self.cell = None
+        self.system = None
+
+    # -- sampling ------------------------------------------------------
+    def _record(self, phase: str) -> dict:
+        rec: dict = {
+            "ts": time.time(),
+            "phase": phase,
+            "cells": {
+                "done": self.cells_done,
+                "ok": self.cells_ok,
+                "failed": self.cells_failed,
+            },
+            "rss": rss_bytes(),
+        }
+        if self.cell is not None:
+            rec["cell"] = dict(self.cell)
+        system = self.system
+        if system is not None and phase in ("running", "start", "end"):
+            try:
+                self._sample_system(system, rec)
+            except Exception:
+                pass  # a half-built system mid-cell must not kill sampling
+        return rec
+
+    def _sample_system(self, system: Any, rec: dict) -> None:
+        engine = system.engine
+        # engine.now and the schedule counter _seq advance *during* run();
+        # events_fired only folds in at run exit, so it is useless live.
+        cycle = int(engine.now)
+        events = int(engine._seq)
+        rec["cycle"] = cycle
+        rec["events"] = events
+        wall = time.monotonic()
+        if self._last_events is not None and wall > self._last_wall:
+            rate = (events - self._last_events) / (wall - self._last_wall)
+            rec["eps"] = round(max(rate, 0.0), 1)
+        self._last_events = events
+        self._last_wall = wall
+        counters: dict = {}
+        watchdog = getattr(engine, "watchdog", None)
+        if watchdog is not None:
+            counters["integrity.stall_polls"] = int(
+                getattr(watchdog, "_stuck_polls", 0)
+            )
+        host = getattr(system, "host", None)
+        if host is not None and host.faults_enabled:
+            faults = host.link_fault_summary()
+            for key in ("crc_errors", "replays", "retrains", "dropped"):
+                if key in faults:
+                    counters[f"faults.{key}"] = faults[key]
+        if counters:
+            rec["counters"] = counters
+        sampler = getattr(system, "timeseries", None)
+        if sampler is not None:
+            rec["samples"] = int(getattr(sampler, "samples_taken", 0))
+            gauges: dict = {}
+            for name, series in getattr(sampler, "_series", {}).items():
+                n = len(series)
+                if n:
+                    idx = (series._idx - 1) % series.capacity
+                    gauges[name] = round(float(series._values[idx]), 6)
+            if gauges:
+                rec["gauges"] = gauges
+
+
+# -- module slot the cell runner publishes through ---------------------
+
+_worker: Optional[WorkerTelemetry] = None
+
+
+def publish_system(system: Optional[Any]) -> None:
+    """Hand the live system to the sampler thread, if one is armed.
+
+    One attribute check when telemetry is disabled — the bound-noop pattern
+    the hot-path digests rely on.
+    """
+    w = _worker
+    if w is not None:
+        w.system = system
+
+
+def current_worker() -> Optional[WorkerTelemetry]:
+    return _worker
+
+
+def activate_worker(
+    spool_dir: Union[str, Path],
+    worker: str,
+    interval: float = DEFAULT_INTERVAL,
+    max_bytes: int = DEFAULT_MAX_SPOOL_BYTES,
+) -> WorkerTelemetry:
+    """Arm heartbeat telemetry for this process; replaces any prior sampler."""
+    global _worker
+    deactivate_worker()
+    spool = TelemetrySpool(spool_path(spool_dir, worker), worker, max_bytes)
+    _worker = WorkerTelemetry(spool, interval).start()
+    return _worker
+
+
+def deactivate_worker() -> None:
+    global _worker
+    w = _worker
+    _worker = None
+    if w is not None:
+        w.stop()
+
+
+class DriverTelemetry:
+    """Parent-process spool: campaign totals, ETA, and liveness.
+
+    Workers only know their own cells; cached and resumed cells are resolved
+    in the parent, so campaign-level accounting (and the ETA) is sampled
+    from :class:`~repro.campaign.progress.CampaignProgress` here and written
+    to the ``driver`` spool for out-of-process monitors.
+    """
+
+    def __init__(
+        self,
+        spool_dir: Union[str, Path],
+        status_fn: Callable[[], dict],
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        self.spool = TelemetrySpool(
+            spool_path(spool_dir, DRIVER_WORKER), DRIVER_WORKER
+        )
+        self.status_fn = status_fn
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _record(self, phase: str) -> dict:
+        rec = {"ts": time.time(), "phase": phase, "rss": rss_bytes()}
+        try:
+            rec["campaign"] = self.status_fn()
+        except Exception:
+            pass
+        return rec
+
+    def start(self) -> "DriverTelemetry":
+        self.spool.append(self._record("driving"))
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-driver-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.spool.append(self._record("driving"))
+            except Exception:  # pragma: no cover
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.spool.append(self._record("exit"), durable=True)
+        self.spool.close()
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+
+class WorkerView:
+    """Latest known state of one worker, with stall tracking."""
+
+    def __init__(self, worker: str) -> None:
+        self.worker = worker
+        self.pid: Optional[int] = None
+        self.record: dict = {}
+        self.updated: float = 0.0  # local monotonic time of last record
+        self._frozen = 0  # consecutive running samples with a frozen cycle
+
+    def update(self, rec: dict, now: float) -> None:
+        prev = self.record
+        if (
+            rec.get("phase") == "running"
+            and prev.get("phase") == "running"
+            and rec.get("cell", {}).get("id") == prev.get("cell", {}).get("id")
+            and rec.get("cycle") is not None
+            and rec.get("cycle") == prev.get("cycle")
+        ):
+            self._frozen += 1
+        else:
+            self._frozen = 0
+        self.record = rec
+        self.pid = rec.get("pid", self.pid)
+        self.updated = now
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.updated)
+
+    def stall_reason(self, now: float, stale_after: float) -> Optional[str]:
+        """Why this worker looks wedged, or None if it looks healthy."""
+        phase = self.record.get("phase")
+        if phase == "exit":
+            return None
+        stall_polls = (self.record.get("counters") or {}).get(
+            "integrity.stall_polls", 0
+        )
+        if stall_polls:
+            return f"watchdog: {stall_polls} stalled poll(s)"
+        if phase == "running" and self._frozen >= FROZEN_SAMPLES:
+            return f"sim-cycle frozen at {self.record.get('cycle')}"
+        if self.age(now) > stale_after:
+            return f"no heartbeat for {self.age(now):.0f}s"
+        return None
+
+    def to_dict(self, now: float, stale_after: float) -> dict:
+        rec = self.record
+        out = {
+            "worker": self.worker,
+            "pid": self.pid,
+            "phase": rec.get("phase", "unknown"),
+            "age_seconds": round(self.age(now), 3),
+            "cells": rec.get("cells", {}),
+            "rss": rec.get("rss", 0),
+        }
+        for key in ("cell", "cycle", "events", "eps", "counters", "gauges"):
+            if key in rec:
+                out[key] = rec[key]
+        stall = self.stall_reason(now, stale_after)
+        out["stalled"] = stall is not None
+        if stall:
+            out["stall_reason"] = stall
+        return out
+
+
+class CampaignView:
+    """Merged live state of one campaign: workers + manifest + driver."""
+
+    def __init__(self, stale_after: float = DEFAULT_STALE_AFTER) -> None:
+        self.workers: Dict[str, WorkerView] = {}
+        self.campaign: dict = {}  # driver spool totals/ETA (in-parent truth)
+        self.manifest_meta: dict = {}  # manifest header fields (cells, jobs)
+        self.manifest_cells: Dict[str, dict] = {}  # cell_id -> last record
+        self.stale_after = stale_after
+
+    # -- derived -------------------------------------------------------
+    def manifest_counts(self) -> dict:
+        counts = {"done": 0, "ok": 0, "failed": 0, "cached": 0}
+        for rec in self.manifest_cells.values():
+            counts["done"] += 1
+            if rec.get("status") == "ok":
+                counts["ok"] += 1
+            else:
+                counts["failed"] += 1
+            if rec.get("cached"):
+                counts["cached"] += 1
+        total = self.manifest_meta.get("cells")
+        if isinstance(total, int):
+            counts["total"] = total
+        return counts
+
+    def failures(self, limit: int = 5) -> List[dict]:
+        """Most recent failed cells, with any watchdog diagnosis attached."""
+        bad = [
+            {
+                "cell_id": cid,
+                "workload": rec.get("workload"),
+                "scheme": rec.get("scheme"),
+                "status": rec.get("status"),
+                "diagnosis": rec.get("diagnosis"),
+            }
+            for cid, rec in self.manifest_cells.items()
+            if rec.get("status") != "ok"
+        ]
+        return bad[-limit:]
+
+    def to_snapshot(self, now: Optional[float] = None) -> dict:
+        """JSON-ready snapshot served at ``/snapshot`` and rendered by UIs."""
+        now = time.monotonic() if now is None else now
+        workers = [
+            self.workers[name].to_dict(now, self.stale_after)
+            for name in sorted(self.workers)
+            if name != DRIVER_WORKER
+        ]
+        return {
+            "version": TELEMETRY_VERSION,
+            "ts": time.time(),
+            "campaign": dict(self.campaign),
+            "manifest": self.manifest_counts(),
+            "workers": workers,
+            "failures": self.failures(),
+        }
+
+
+class TelemetryAggregator:
+    """Tail every spool (and optionally the manifest) into a CampaignView.
+
+    :meth:`refresh` is cheap and incremental — safe to call from a UI loop
+    and an HTTP handler concurrently (internally serialized).
+    """
+
+    def __init__(
+        self,
+        spool_dir: Union[str, Path],
+        manifest_path: Optional[Union[str, Path]] = None,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ) -> None:
+        self.spool_dir = Path(spool_dir)
+        self.view = CampaignView(stale_after=stale_after)
+        self._tailers: Dict[str, SpoolTailer] = {}
+        self._manifest_tailer = (
+            JsonlTailer(manifest_path) if manifest_path is not None else None
+        )
+        self._lock = threading.Lock()
+
+    def refresh(self) -> CampaignView:
+        with self._lock:
+            self._poll_spools()
+            self._poll_manifest()
+            return self.view
+
+    def _poll_spools(self) -> None:
+        try:
+            names = sorted(os.listdir(self.spool_dir))
+        except OSError:
+            return
+        now = time.monotonic()
+        for name in names:
+            if not (name.startswith(SPOOL_PREFIX) and name.endswith(SPOOL_SUFFIX)):
+                continue
+            tailer = self._tailers.get(name)
+            if tailer is None:
+                tailer = self._tailers[name] = SpoolTailer(self.spool_dir / name)
+            for rec in tailer.poll():
+                worker = rec.get("worker") or name[len(SPOOL_PREFIX) : -len(SPOOL_SUFFIX)]
+                if worker == DRIVER_WORKER:
+                    if "campaign" in rec:
+                        self.view.campaign = rec["campaign"]
+                    continue
+                wv = self.view.workers.get(worker)
+                if wv is None:
+                    wv = self.view.workers[worker] = WorkerView(worker)
+                wv.update(rec, now)
+
+    def _poll_manifest(self) -> None:
+        if self._manifest_tailer is None:
+            return
+        for rec in self._manifest_tailer.poll():
+            if rec.get("kind") == "header":
+                self.view.manifest_meta = {
+                    k: v for k, v in rec.items() if k != "kind"
+                }
+                # rotation/reset: a fresh header voids prior cell records
+                self.view.manifest_cells = {}
+                continue
+            cid = rec.get("cell_id")
+            if isinstance(cid, str):
+                self.view.manifest_cells[cid] = rec
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+
+
+class TelemetryServer:
+    """Stdlib HTTP thread serving ``/snapshot`` (JSON) and ``/metrics``
+    (Prometheus text exposition, see :mod:`repro.obs.promtext`)."""
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], dict],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.snapshot_fn = snapshot_fn
+        self.host = host
+        self.port = port  # replaced with the bound port by start()
+        self._httpd: Optional[Any] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "TelemetryServer":
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from repro.obs.promtext import render_metrics
+
+        snapshot_fn = self.snapshot_fn
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/snapshot":
+                        body = json.dumps(snapshot_fn()).encode()
+                        ctype = "application/json"
+                    elif path == "/metrics":
+                        body = render_metrics(snapshot_fn()).encode()
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    else:
+                        self.send_error(404, "unknown path")
+                        return
+                except Exception as exc:  # pragma: no cover - handler safety
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # keep campaign output clean
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -152,7 +152,8 @@ class TestManifest:
         cells = grid_cells(["HM1", "LM1"], ["base", "mmd"], TINY)
         run_campaign(cells, CampaignOptions(jobs=2), manifest=man, runner=ok_runner)
         lines = [json.loads(l) for l in man.path.read_text().splitlines()]
-        assert lines[0] == {"kind": "header", "version": MANIFEST_VERSION}
+        assert lines[0] == {"kind": "header", "version": MANIFEST_VERSION,
+                            "cells": 4, "jobs": 2}
         ids = [l["cell_id"] for l in lines[1:]]
         assert sorted(ids) == sorted(c.cell_id for c in cells)
 
@@ -468,3 +469,81 @@ class TestCampaignCLI:
         # resume over a finished manifest simulates nothing
         assert main(argv + ["--resume", "--quiet"]) == 0
         assert "0 simulated" in capsys.readouterr().out
+
+
+class TestProgressEta:
+    """ETA estimation: executed cells only, effective-parallelism divisor."""
+
+    class _Rec:
+        def __init__(self, elapsed=2.0, ok=True, cached=False):
+            self.ok = ok
+            self.status = "ok" if ok else "error"
+            self.elapsed = elapsed
+            self.cached = cached
+            self.workload = "HM1"
+            self.scheme = "base"
+
+    def _progress(self, total, jobs):
+        from repro.campaign.progress import CampaignProgress
+
+        return CampaignProgress(total=total, jobs=jobs)
+
+    def test_no_estimate_until_one_cell_executed(self):
+        p = self._progress(total=4, jobs=2)
+        assert p.eta_seconds() is None
+        p.cell_done(self._Rec(elapsed=0.0, cached=True), source="cached")
+        assert p.eta_seconds() is None  # cache hits carry no signal
+
+    def test_mean_over_executed_cells(self):
+        p = self._progress(total=10, jobs=1)
+        p.cell_done(self._Rec(elapsed=2.0))
+        p.cell_done(self._Rec(elapsed=4.0))
+        assert p.eta_seconds() == pytest.approx(8 * 3.0)
+
+    def test_cached_cells_excluded_from_rate(self):
+        # 50 instant cache hits must not drag an honest 2 s/cell mean down
+        p = self._progress(total=100, jobs=1)
+        for _ in range(50):
+            p.cell_done(self._Rec(elapsed=0.0, cached=True), source="cached")
+        p.cell_done(self._Rec(elapsed=2.0))
+        p.cell_done(self._Rec(elapsed=2.0))
+        assert p.eta_seconds() == pytest.approx((100 - 52) * 2.0)
+
+    def test_cached_flag_honoured_regardless_of_source(self):
+        # a mislabelled source must not leak a 0 s sample into the mean
+        p = self._progress(total=4, jobs=1)
+        p.cell_done(self._Rec(elapsed=0.0, cached=True), source="executed")
+        assert p.cached == 1 and p.eta_seconds() is None
+        p.cell_done(self._Rec(elapsed=3.0))
+        assert p.eta_seconds() == pytest.approx(2 * 3.0)
+
+    def test_resumed_cells_excluded_from_rate(self):
+        p = self._progress(total=4, jobs=1)
+        p.cell_done(self._Rec(elapsed=0.0), source="resumed")
+        assert p.resumed == 1 and p.eta_seconds() is None
+
+    def test_effective_parallelism_caps_divisor(self):
+        # 8 workers with 3 cells left run at most 3 of them: dividing by 8
+        # would promise a 3x-too-fast tail
+        p = self._progress(total=4, jobs=8)
+        p.cell_done(self._Rec(elapsed=6.0))
+        assert p.eta_seconds() == pytest.approx(3 * 6.0 / 3)
+
+    def test_full_pool_divides_by_jobs(self):
+        p = self._progress(total=100, jobs=4)
+        p.cell_done(self._Rec(elapsed=4.0))
+        assert p.eta_seconds() == pytest.approx(99 * 4.0 / 4)
+
+    def test_eta_zero_when_finished(self):
+        p = self._progress(total=1, jobs=2)
+        p.cell_done(self._Rec(elapsed=5.0))
+        assert p.eta_seconds() == 0.0
+
+    def test_status_is_json_ready(self):
+        p = self._progress(total=2, jobs=2)
+        p.cell_done(self._Rec(elapsed=1.0))
+        st = p.status()
+        assert st["total"] == 2 and st["done"] == 1 and st["executed"] == 1
+        assert st["eta_seconds"] == pytest.approx(1.0)
+        assert st["wall_seconds"] >= 0
+        json.dumps(st)  # must serialize as-is for the driver spool

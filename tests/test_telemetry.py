@@ -1,0 +1,698 @@
+"""Tests for live campaign telemetry (repro.obs.telemetry and friends).
+
+Covers the spool writer (headers, rotation, generations), the tail-following
+reader (torn trailing lines, mid-read appends, rotation — no duplicated or
+lost records), the aggregator that merges worker spools plus the manifest
+into a CampaignView, the Prometheus text exposition, the /snapshot + /metrics
+HTTP endpoint, the terminal board renderers, and an end-to-end run_campaign
+with telemetry armed (exactly-once cell accounting, out-of-process monitor
+convergence).
+"""
+
+import io
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignOptions, Manifest, grid_cells, run_campaign
+from repro.campaign.manifest import MANIFEST_VERSION
+from repro.experiments.runner import ExperimentConfig
+from repro.obs import telemetry
+from repro.obs.promtext import parse_exposition, render_metrics
+from repro.obs.telemetry import (
+    FROZEN_SAMPLES,
+    TELEMETRY_VERSION,
+    CampaignView,
+    JsonlTailer,
+    SpoolTailer,
+    TelemetryAggregator,
+    TelemetryServer,
+    TelemetrySpool,
+    WorkerTelemetry,
+    WorkerView,
+    publish_system,
+    spool_dir_for,
+    spool_path,
+)
+from repro.obs.watch import (
+    monitor_done,
+    render_board,
+    render_status_line,
+    resolve_monitor_paths,
+    run_monitor,
+)
+
+TINY = ExperimentConfig(refs_per_core=150, seed=1)
+
+
+def _summary(cell):
+    return {"scheme": cell.scheme, "workload": cell.workload, "cycles": 1000,
+            "core_ipc": [1.0], "core_instructions": [100],
+            "conflict_rate": 0.1, "row_conflicts": 5, "demand_accesses": 50,
+            "buffer_hits": 10, "prefetches_issued": 20, "row_accuracy": 0.5,
+            "line_accuracy": 0.25, "mean_memory_latency": 100.0,
+            "mean_read_latency": 90.0, "energy_pj": 1e6,
+            "energy_breakdown": {"activate": 1.0}, "link_utilization": 0.2}
+
+
+def ok_runner(cell, attempt):  # module-level: picklable for worker processes
+    return _summary(cell)
+
+
+class _FakeCell:
+    cell_id = "cell-TEST-base"
+    workload = "TEST"
+    scheme = "base"
+
+
+def _lines(path):
+    return [json.loads(ln) for ln in path.read_text().splitlines() if ln.strip()]
+
+
+# ----------------------------------------------------------------------
+# Spool writer
+# ----------------------------------------------------------------------
+
+
+class TestTelemetrySpool:
+    def test_header_written_first(self, tmp_path):
+        spool = TelemetrySpool(tmp_path / "telemetry-w0.jsonl", "w0")
+        spool.append({"phase": "idle"})
+        spool.close()
+        lines = _lines(tmp_path / "telemetry-w0.jsonl")
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["version"] == TELEMETRY_VERSION
+        assert lines[0]["worker"] == "w0"
+        assert lines[0]["pid"] == os.getpid()
+        assert lines[0]["gen"]
+
+    def test_seq_monotonic_per_generation(self, tmp_path):
+        spool = TelemetrySpool(tmp_path / "telemetry-w0.jsonl", "w0")
+        for _ in range(5):
+            spool.append({"phase": "idle"})
+        spool.close()
+        seqs = [ln["seq"] for ln in _lines(spool.path) if "seq" in ln]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_rotation_bounds_file_and_bumps_generation(self, tmp_path):
+        path = tmp_path / "telemetry-w0.jsonl"
+        spool = TelemetrySpool(path, "w0", max_bytes=512)
+        gen0 = spool.gen
+        payload = {"phase": "running", "pad": "x" * 128}
+        for _ in range(50):
+            spool.append(payload)
+        spool.close()
+        assert path.stat().st_size < 2048  # bounded, not 50 * 140 bytes
+        lines = _lines(path)
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["gen"] != gen0
+        # seq restarted with the new generation
+        assert lines[1]["seq"] == 1
+
+    def test_respawn_appends_header_midfile(self, tmp_path):
+        path = tmp_path / "telemetry-w0.jsonl"
+        first = TelemetrySpool(path, "w0")
+        first.append({"phase": "idle"})
+        first.close()
+        second = TelemetrySpool(path, "w0")  # same slot, new writer session
+        second.append({"phase": "idle"})
+        second.close()
+        headers = [ln for ln in _lines(path) if ln.get("kind") == "header"]
+        assert len(headers) == 2
+        assert headers[0]["gen"] != headers[1]["gen"]
+        # readers see both sessions' records exactly once
+        records = SpoolTailer(path).poll()
+        assert [r["phase"] for r in records] == ["idle", "idle"]
+
+
+# ----------------------------------------------------------------------
+# Tail-following (satellite: torn line / mid-read append / rotation)
+# ----------------------------------------------------------------------
+
+
+class TestJsonlTailer:
+    def test_torn_trailing_line_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n{"b":')  # second record torn mid-write
+        tailer = JsonlTailer(path)
+        assert tailer.poll() == [{"a": 1}]
+        assert tailer.poll() == []  # torn tail stays buffered, not parsed
+        with open(path, "a") as fh:
+            fh.write(' 2}\n')  # writer completes the line
+        assert tailer.poll() == [{"b": 2}]
+        assert tailer.poll() == []  # and it is emitted exactly once
+
+    def test_record_appended_mid_read(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n')
+        tailer = JsonlTailer(path)
+        assert tailer.poll() == [{"a": 1}]
+        with open(path, "a") as fh:
+            fh.write('{"b": 2}\n{"c": 3}\n')
+        assert tailer.poll() == [{"b": 2}, {"c": 3}]
+        assert tailer.poll() == []
+
+    def test_rotation_resets_to_new_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n')
+        tailer = JsonlTailer(path)
+        assert len(tailer.poll()) == 2
+        # atomic rotation: new inode replaces the old file
+        tmp = tmp_path / "t.jsonl.tmp"
+        tmp.write_text('{"b": 1}\n')
+        os.replace(tmp, path)
+        assert tailer.poll() == [{"b": 1}]  # reader restarted at offset 0
+
+    def test_truncation_detected_as_reset(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n{"a": 3}\n')
+        tailer = JsonlTailer(path)
+        assert len(tailer.poll()) == 3
+        path.write_text('{"b": 1}\n')  # same inode, shrunk below offset
+        assert tailer.poll() == [{"b": 1}]
+
+    def test_garbage_complete_line_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\nnot json at all\n{"b": 2}\n[1, 2]\n')
+        assert JsonlTailer(path).poll() == [{"a": 1}, {"b": 2}]
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        tailer = JsonlTailer(tmp_path / "absent.jsonl")
+        assert tailer.poll() == []
+
+
+class TestSpoolTailer:
+    def test_rotation_no_duplicate_no_lost_records(self, tmp_path):
+        """Exactly-once consumption across writer rotations.
+
+        The writer rotates every ~512 bytes while a tailer polls after each
+        append; every record's unique id must be seen exactly once.
+        """
+        path = tmp_path / "telemetry-w0.jsonl"
+        spool = TelemetrySpool(path, "w0", max_bytes=512)
+        tailer = SpoolTailer(path)
+        seen = []
+        for i in range(60):
+            spool.append({"phase": "running", "i": i, "pad": "x" * 64})
+            seen.extend(r["i"] for r in tailer.poll())
+        spool.close()
+        seen.extend(r["i"] for r in tailer.poll() if "i" in r)
+        assert seen == list(range(60))
+
+    def test_records_before_header_ignored(self, tmp_path):
+        path = tmp_path / "telemetry-w0.jsonl"
+        path.write_text('{"seq": 1, "phase": "running"}\n')
+        assert SpoolTailer(path).poll() == []
+
+    def test_unknown_version_generation_ignored(self, tmp_path):
+        path = tmp_path / "telemetry-w0.jsonl"
+        header = {"kind": "header", "version": TELEMETRY_VERSION + 1,
+                  "worker": "w0", "pid": 1, "gen": "aaa"}
+        path.write_text(json.dumps(header) + "\n" +
+                        '{"seq": 1, "phase": "running"}\n')
+        assert SpoolTailer(path).poll() == []
+
+    def test_attaches_worker_identity(self, tmp_path):
+        path = tmp_path / "telemetry-w3.jsonl"
+        spool = TelemetrySpool(path, "w3")
+        spool.append({"phase": "idle"})
+        spool.close()
+        (rec,) = [r for r in SpoolTailer(path).poll() if r["phase"] == "idle"]
+        assert rec["worker"] == "w3"
+        assert rec["pid"] == os.getpid()
+        assert rec["gen"]
+
+
+# ----------------------------------------------------------------------
+# Worker-side sampler
+# ----------------------------------------------------------------------
+
+
+class TestWorkerTelemetry:
+    def test_cell_lifecycle_records(self, tmp_path):
+        spool = TelemetrySpool(spool_path(tmp_path, "w0"), "w0")
+        wt = WorkerTelemetry(spool, interval=60.0)  # no timer heartbeats
+        wt.start()
+        wt.cell_start(_FakeCell(), 1)
+        wt.cell_end("ok", 1.25)
+        wt.cell_start(_FakeCell(), 2)
+        wt.cell_end("error", 0.5)
+        wt.stop()
+        records = SpoolTailer(spool.path).poll()
+        phases = [r["phase"] for r in records]
+        assert phases == ["idle", "start", "end", "start", "end", "exit"]
+        ends = [r for r in records if r["phase"] == "end"]
+        assert ends[0]["status"] == "ok" and ends[0]["elapsed"] == 1.25
+        assert ends[1]["status"] == "error"
+        # cumulative, not delta: the last record carries full totals
+        assert ends[-1]["cells"] == {"done": 2, "ok": 1, "failed": 1}
+        starts = [r for r in records if r["phase"] == "start"]
+        assert starts[1]["cell"]["attempt"] == 2
+        assert all("rss" in r for r in records)
+
+    def test_publish_system_is_noop_when_disarmed(self):
+        assert telemetry.current_worker() is None
+        publish_system(object())  # must not raise, must not retain
+        publish_system(None)
+        assert telemetry.current_worker() is None
+
+    def test_sample_reads_live_engine_state(self, tmp_path):
+        from repro.system import System, SystemConfig
+        from repro.workloads.mixes import mix as make_mix
+
+        spool = TelemetrySpool(spool_path(tmp_path, "w0"), "w0")
+        wt = WorkerTelemetry(spool, interval=60.0)
+        system = System(make_mix("MX1", 150, seed=1),
+                        SystemConfig(scheme="camps"), workload="MX1")
+        system.run()
+        wt.cell_start(_FakeCell(), 1)
+        wt.system = system
+        rec = wt._record("running")
+        assert rec["cycle"] == int(system.engine.now)
+        assert rec["events"] > 0
+        spool.close()
+
+    def test_activate_deactivate_roundtrip(self, tmp_path):
+        wt = telemetry.activate_worker(tmp_path, "w9", interval=60.0)
+        try:
+            assert telemetry.current_worker() is wt
+            publish_system(self)  # arbitrary object lands on the sampler
+            assert wt.system is self
+        finally:
+            telemetry.deactivate_worker()
+        assert telemetry.current_worker() is None
+        assert spool_path(tmp_path, "w9").exists()
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+
+def _write_manifest(path, cells, records):
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"kind": "header", "version": MANIFEST_VERSION,
+                             "cells": cells, "jobs": 2}) + "\n")
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+
+
+class TestAggregator:
+    def test_merges_workers_driver_and_manifest(self, tmp_path):
+        for name in ("w0", "w1"):
+            spool = TelemetrySpool(spool_path(tmp_path, name), name)
+            spool.append({"phase": "running", "ts": 0.0,
+                          "cells": {"done": 1, "ok": 1, "failed": 0},
+                          "cell": {"id": "c", "workload": "HM1",
+                                   "scheme": "base", "attempt": 1},
+                          "cycle": 100, "rss": 1 << 20})
+            spool.close()
+        driver = TelemetrySpool(spool_path(tmp_path, "driver"), "driver")
+        driver.append({"phase": "driving", "ts": 0.0,
+                       "campaign": {"total": 4, "done": 2}})
+        driver.close()
+        manifest = tmp_path / "m.jsonl"
+        _write_manifest(manifest, 4, [
+            {"cell_id": "a", "workload": "HM1", "scheme": "base",
+             "status": "ok", "cached": False},
+            {"cell_id": "b", "workload": "LM1", "scheme": "base",
+             "status": "timeout",
+             "diagnosis": {"reason": "livelock", "stuck_component": "vault3"}},
+        ])
+        agg = TelemetryAggregator(tmp_path, manifest_path=manifest)
+        snap = agg.refresh().to_snapshot()
+        assert [w["worker"] for w in snap["workers"]] == ["w0", "w1"]
+        assert snap["campaign"] == {"total": 4, "done": 2}
+        assert snap["manifest"] == {"done": 2, "ok": 1, "failed": 1,
+                                    "cached": 0, "total": 4}
+        (failure,) = snap["failures"]
+        assert failure["status"] == "timeout"
+        assert failure["diagnosis"]["reason"] == "livelock"
+
+    def test_duplicate_manifest_record_counts_once(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        rec = {"cell_id": "a", "workload": "HM1", "scheme": "base",
+               "status": "ok"}
+        _write_manifest(manifest, 2, [rec, rec])  # resume rewrote the cell
+        agg = TelemetryAggregator(tmp_path, manifest_path=manifest)
+        assert agg.refresh().manifest_counts()["done"] == 1
+
+    def test_fresh_manifest_header_voids_prior_cells(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        _write_manifest(manifest, 2, [
+            {"cell_id": "a", "status": "ok", "workload": "x", "scheme": "y"},
+        ])
+        agg = TelemetryAggregator(tmp_path, manifest_path=manifest)
+        assert agg.refresh().manifest_counts()["done"] == 1
+        _write_manifest(manifest, 3, [])  # campaign restarted from scratch
+        counts = agg.refresh().manifest_counts()
+        assert counts["done"] == 0 and counts["total"] == 3
+
+    def test_incremental_refresh_picks_up_appends(self, tmp_path):
+        spool = TelemetrySpool(spool_path(tmp_path, "w0"), "w0")
+        spool.append({"phase": "idle", "ts": 0.0, "cells": {"done": 0}})
+        agg = TelemetryAggregator(tmp_path)
+        assert agg.refresh().workers["w0"].record["phase"] == "idle"
+        spool.append({"phase": "running", "ts": 1.0, "cells": {"done": 0}})
+        spool.close()
+        assert agg.refresh().workers["w0"].record["phase"] == "running"
+
+
+class TestWorkerViewStalls:
+    def _running(self, cycle, cell="c1"):
+        return {"phase": "running", "cycle": cycle,
+                "cell": {"id": cell, "workload": "HM1", "scheme": "base"}}
+
+    def test_frozen_cycle_flagged_after_threshold(self):
+        wv = WorkerView("w0")
+        wv.update(self._running(100), now=0.0)
+        for i in range(FROZEN_SAMPLES):
+            assert wv.stall_reason(float(i), stale_after=60.0) is None
+            wv.update(self._running(100), now=float(i))
+        reason = wv.stall_reason(float(FROZEN_SAMPLES), stale_after=60.0)
+        assert reason is not None and "frozen" in reason
+
+    def test_advancing_cycle_resets_frozen_count(self):
+        wv = WorkerView("w0")
+        for i in range(FROZEN_SAMPLES * 2):
+            wv.update(self._running(100 + i), now=float(i))
+        assert wv.stall_reason(10.0, stale_after=60.0) is None
+
+    def test_stale_heartbeat_flagged(self):
+        wv = WorkerView("w0")
+        wv.update(self._running(100), now=0.0)
+        assert wv.stall_reason(1.0, stale_after=5.0) is None
+        reason = wv.stall_reason(10.0, stale_after=5.0)
+        assert reason is not None and "no heartbeat" in reason
+
+    def test_watchdog_stall_polls_flagged(self):
+        wv = WorkerView("w0")
+        rec = self._running(100)
+        rec["counters"] = {"integrity.stall_polls": 2}
+        wv.update(rec, now=0.0)
+        reason = wv.stall_reason(0.1, stale_after=60.0)
+        assert reason is not None and "watchdog" in reason
+
+    def test_exited_worker_never_stalled(self):
+        wv = WorkerView("w0")
+        wv.update({"phase": "exit"}, now=0.0)
+        assert wv.stall_reason(100.0, stale_after=5.0) is None
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _snapshot():
+    return {
+        "version": TELEMETRY_VERSION,
+        "ts": 0.0,
+        "campaign": {"total": 4, "done": 2, "ok": 2, "failed": 0,
+                     "cached": 1, "resumed": 0, "retried": 0,
+                     "eta_seconds": 12.5, "wall_seconds": 30.0, "jobs": 2},
+        "manifest": {"done": 2, "ok": 2, "failed": 0, "cached": 1, "total": 4},
+        "workers": [
+            {"worker": "w0", "phase": "running", "age_seconds": 0.2,
+             "cells": {"done": 1, "ok": 1, "failed": 0}, "rss": 1 << 20,
+             "cycle": 51200, "events": 90000, "eps": 1234.5,
+             "cell": {"id": "x", "workload": 'HM"1\\', "scheme": "base"},
+             "counters": {"integrity.stall_polls": 0, "faults.replays": 3},
+             "gauges": {"buffer.hit_rate": 0.5}, "stalled": False},
+            {"worker": "w1", "phase": "idle", "age_seconds": 0.1,
+             "cells": {"done": 1, "ok": 1, "failed": 0}, "rss": 2 << 20,
+             "stalled": True, "stall_reason": "no heartbeat for 9s"},
+        ],
+        "failures": [],
+    }
+
+
+class TestPromtext:
+    def test_render_parse_round_trip(self):
+        text = render_metrics(_snapshot())
+        families = parse_exposition(text)
+        assert families["repro_campaign_cells_total"]["type"] == "gauge"
+        ((labels, value),) = families["repro_campaign_cells_done"]["samples"]
+        assert value == 2.0
+        workers = dict()
+        for labels, value in families["repro_worker_stalled"]["samples"]:
+            workers[labels["worker"]] = value
+        assert workers == {"w0": 0.0, "w1": 1.0}
+
+    def test_label_escaping_survives_round_trip(self):
+        text = render_metrics(_snapshot())
+        families = parse_exposition(text)
+        cells = families["repro_worker_info"]["samples"]
+        (labels, _) = [s for s in cells if s[0]["worker"] == "w0"][0]
+        assert labels["workload"] == 'HM"1\\'
+        assert labels["phase"] == "running"
+
+    def test_counter_and_gauge_families_present(self):
+        families = parse_exposition(render_metrics(_snapshot()))
+        counter_samples = families["repro_worker_counter"]["samples"]
+        assert any(lbl["counter"] == "faults_replays" and v == 3.0
+                   for lbl, v in counter_samples)
+        gauge_samples = families["repro_worker_gauge"]["samples"]
+        assert any(lbl["gauge"] == "buffer_hit_rate" and v == 0.5
+                   for lbl, v in gauge_samples)
+
+    def test_parse_rejects_malformed_text(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not { exposition\n")
+
+    def test_parse_rejects_sample_before_type(self):
+        with pytest.raises(ValueError):
+            parse_exposition('mystery_metric 1.0\n')
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+
+
+class TestTelemetryServer:
+    def test_snapshot_and_metrics_endpoints(self):
+        server = TelemetryServer(_snapshot, port=0).start()
+        try:
+            assert server.port > 0
+            with urllib.request.urlopen(f"{server.url}/snapshot") as resp:
+                assert resp.headers["Content-Type"] == "application/json"
+                snap = json.loads(resp.read())
+            assert snap["campaign"]["total"] == 4
+            with urllib.request.urlopen(f"{server.url}/metrics") as resp:
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                families = parse_exposition(resp.read().decode())
+            assert "repro_campaign_cells_done" in families
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert err.value.code == 404
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Terminal renderers and monitor plumbing
+# ----------------------------------------------------------------------
+
+
+class TestRenderers:
+    def test_board_header_workers_and_stall(self):
+        lines = render_board(_snapshot())
+        assert lines[0].startswith("campaign: 2/4 cells")
+        assert "eta 0m12s" in lines[0]
+        joined = "\n".join(lines)
+        assert 'HM"1\\/base' in joined
+        assert "STALLED: no heartbeat for 9s" in joined
+
+    def test_board_shows_failures_with_diagnosis(self):
+        snap = _snapshot()
+        snap["failures"] = [{"workload": "HM1", "scheme": "base",
+                             "status": "timeout",
+                             "diagnosis": {"reason": "livelock",
+                                           "stuck_component": "vault3"}}]
+        joined = "\n".join(render_board(snap))
+        assert "failed: HM1/base (timeout)" in joined
+        assert "livelock" in joined and "vault3" in joined
+
+    def test_board_empty_snapshot_renders(self):
+        lines = render_board({"campaign": {}, "manifest": {}, "workers": []})
+        assert "no worker heartbeats yet" in "\n".join(lines)
+
+    def test_status_line_compact(self):
+        line = render_status_line(_snapshot())
+        assert line.startswith("watch: 2/4 done")
+        assert "1 STALLED" in line
+
+    def test_resolve_manifest_file(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text("{}\n")
+        spool_dir, mpath = resolve_monitor_paths(manifest)
+        assert spool_dir == spool_dir_for(manifest) and mpath == manifest
+
+    def test_resolve_spool_dir(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text("{}\n")
+        sdir = spool_dir_for(manifest)
+        sdir.mkdir()
+        assert resolve_monitor_paths(sdir) == (sdir, manifest)
+
+    def test_resolve_containing_dir(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text("{}\n")
+        spool_dir_for(manifest).mkdir()
+        spool_dir, mpath = resolve_monitor_paths(tmp_path)
+        assert spool_dir == spool_dir_for(manifest) and mpath == manifest
+
+    def test_resolve_rejects_unidentifiable(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_monitor_paths(tmp_path / "missing.jsonl")
+        with pytest.raises(FileNotFoundError):
+            resolve_monitor_paths(tmp_path)  # empty dir: nothing to monitor
+
+    def test_monitor_done_requires_known_total(self):
+        assert not monitor_done({"manifest": {"done": 3}})
+        assert not monitor_done({"manifest": {"done": 3, "total": 4}})
+        assert monitor_done({"manifest": {"done": 4, "total": 4}})
+
+
+# ----------------------------------------------------------------------
+# End to end: run_campaign with telemetry armed
+# ----------------------------------------------------------------------
+
+
+class TestCampaignTelemetry:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_spools_written_and_counts_converge(self, tmp_path, jobs):
+        cells = grid_cells(["HM1", "LM1"], ["base", "camps"], TINY)
+        manifest = tmp_path / "m.jsonl"
+        res = run_campaign(
+            cells,
+            CampaignOptions(jobs=jobs, telemetry=True,
+                            telemetry_interval=0.05),
+            runner=ok_runner,
+            manifest=Manifest(manifest),
+        )
+        assert res.stats["ok"] == 4
+        sdir = spool_dir_for(manifest)
+        names = sorted(p.name for p in sdir.glob("telemetry-*.jsonl"))
+        assert "telemetry-driver.jsonl" in names
+        assert "telemetry-w0.jsonl" in names
+        # the merged view converges to the manifest's exactly-once record
+        agg = TelemetryAggregator(sdir, manifest_path=manifest)
+        view = agg.refresh()
+        assert view.manifest_counts() == {"done": 4, "ok": 4, "failed": 0,
+                                          "cached": 0, "total": 4}
+        assert view.campaign.get("total") == 4
+        # worker end-records sum to the cells each worker executed
+        done = sum((wv.record.get("cells") or {}).get("done", 0)
+                   for wv in view.workers.values())
+        assert done == 4
+
+    def test_manifest_header_carries_campaign_meta(self, tmp_path):
+        cells = grid_cells(["HM1"], ["base"], TINY)
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(cells, CampaignOptions(jobs=1), runner=ok_runner,
+                     manifest=Manifest(manifest))
+        header = Manifest(manifest).header()
+        assert header["cells"] == 1 and header["jobs"] == 1
+
+    def test_telemetry_port_binds_and_reports(self, tmp_path):
+        cells = grid_cells(["HM1"], ["base"], TINY)
+        res = run_campaign(
+            cells,
+            CampaignOptions(jobs=1, telemetry_port=0,
+                            telemetry_interval=0.05),
+            runner=ok_runner,
+            manifest=Manifest(tmp_path / "m.jsonl"),
+        )
+        assert res.stats["telemetry_port"] > 0
+
+    def test_watch_campaign_completes(self, tmp_path, capsys):
+        # --watch arms telemetry implicitly and must not disturb results
+        cells = grid_cells(["HM1", "LM1"], ["base"], TINY)
+        res = run_campaign(
+            cells,
+            CampaignOptions(jobs=1, watch=True, telemetry_interval=0.05),
+            runner=ok_runner,
+            manifest=Manifest(tmp_path / "m.jsonl"),
+        )
+        assert res.stats["ok"] == 2
+        assert telemetry.current_worker() is None  # serial path cleaned up
+
+    def test_disabled_telemetry_leaves_no_spools(self, tmp_path):
+        cells = grid_cells(["HM1"], ["base"], TINY)
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(cells, CampaignOptions(jobs=1), runner=ok_runner,
+                     manifest=Manifest(manifest))
+        assert not spool_dir_for(manifest).exists()
+        assert telemetry.current_worker() is None
+
+    def test_run_monitor_once_converges_to_manifest(self, tmp_path):
+        cells = grid_cells(["HM1", "LM1"], ["base"], TINY)
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(
+            cells,
+            CampaignOptions(jobs=2, telemetry=True, telemetry_interval=0.05),
+            runner=ok_runner,
+            manifest=Manifest(manifest),
+        )
+        stream = io.StringIO()
+        snap = run_monitor(manifest, once=True, as_json=True, stream=stream)
+        assert snap["manifest"]["done"] == 2 and snap["manifest"]["total"] == 2
+        assert monitor_done(snap)
+        assert json.loads(stream.getvalue())["manifest"]["done"] == 2
+
+    def test_run_monitor_exits_on_finished_campaign(self, tmp_path):
+        cells = grid_cells(["HM1"], ["base"], TINY)
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(cells,
+                     CampaignOptions(jobs=1, telemetry=True,
+                                     telemetry_interval=0.05),
+                     runner=ok_runner, manifest=Manifest(manifest))
+        stream = io.StringIO()
+        snap = run_monitor(manifest, interval=0.05, stream=stream,
+                           max_seconds=10.0)
+        assert monitor_done(snap)
+        assert "campaign: 1/1 cells" in stream.getvalue()
+
+    def test_bad_telemetry_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignOptions(telemetry_interval=0.0)
+
+
+class TestMonitorCLI:
+    def test_missing_target_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["monitor", str(tmp_path / "nope.jsonl"), "--once"])
+        assert rc == 1
+        assert "monitor:" in capsys.readouterr().err
+
+    def test_once_json_over_finished_campaign(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cells = grid_cells(["HM1"], ["base"], TINY)
+        manifest = tmp_path / "m.jsonl"
+        run_campaign(cells,
+                     CampaignOptions(jobs=1, telemetry=True,
+                                     telemetry_interval=0.05),
+                     runner=ok_runner, manifest=Manifest(manifest))
+        rc = main(["monitor", str(manifest), "--once", "--json"])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["manifest"]["done"] == 1
+
+    def test_campaign_parser_telemetry_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["campaign", "--watch", "--telemetry-port", "0",
+             "--telemetry-interval", "0.25"]
+        )
+        assert args.watch and args.telemetry_port == 0
+        assert args.telemetry_interval == 0.25
+        args = build_parser().parse_args(["campaign"])
+        assert not args.watch and args.telemetry_port is None
+        assert not args.telemetry

@@ -18,6 +18,7 @@ from repro.obs import (
     Tracer,
     build_run_report,
     diff_reports,
+    has_series,
     render_html,
     write_html,
 )
@@ -446,3 +447,71 @@ class TestReportCLI:
         assert rc == 0
         report = RunReport.load(p)
         assert report.series["epoch"] == DEFAULT_EPOCH
+
+
+class TestDiffDegradedSeries:
+    """`repro diff` with one-sided / null series payloads (graceful path)."""
+
+    def _report(self, series, cycles=1000.0):
+        return RunReport(
+            workload="MX1", scheme="camps", config_digest="abcdef123456",
+            summary={"cycles": cycles, "geomean_ipc": 1.0},
+            counters={"vault0.buffer_hits": 10.0},
+            series=series,
+        )
+
+    def test_has_series_detects_payloads(self):
+        assert not has_series(self._report({}))
+        assert not has_series(self._report({"epoch": 1024, "series": None}))
+        assert not has_series(self._report(None))
+        assert has_series(self._report(
+            {"epoch": 1024,
+             "series": {"buffer.hit_rate": {"times": [0], "values": [0.5]}}}
+        ))
+
+    def test_null_series_payload_does_not_crash_diff(self):
+        # regression: {"series": null} raised TypeError mid-diff
+        a = self._report({"epoch": 1024, "series": None})
+        b = self._report(
+            {"epoch": 1024,
+             "series": {"buffer.hit_rate": {"times": [0], "values": [0.5]}}},
+            cycles=1200.0,
+        )
+        diff = diff_reports(a, b)
+        assert diff.divergences == []
+        assert any(m.name == "cycles" for m in diff.metrics)
+
+    def test_cli_one_sided_series_degrades_with_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._report({"epoch": 1024, "series": None}).save(tmp_path / "a.json")
+        b = self._report(
+            {"epoch": 1024,
+             "series": {"buffer.hit_rate": {"times": [0], "values": [0.5]}}},
+            cycles=1200.0,
+        ).save(tmp_path / "b.json")
+        rc = main(["diff", str(a), str(b)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "summary metrics" in captured.out  # metric diff still printed
+        assert str(a) in captured.err and "no series payload" in captured.err
+
+    def test_cli_one_sided_series_json_flags_incomparable(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._report({}).save(tmp_path / "a.json")
+        b = self._report(
+            {"epoch": 1024,
+             "series": {"buffer.hit_rate": {"times": [0], "values": [0.5]}}},
+        ).save(tmp_path / "b.json")
+        assert main(["diff", str(a), str(b), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series_comparable"] is False
+
+    def test_cli_both_sides_without_series_still_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._report({}).save(tmp_path / "a.json")
+        b = self._report({}, cycles=1200.0).save(tmp_path / "b.json")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "no series payload" not in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""Tests for the benchmark history store and `repro bench-trend`."""
+
+import json
+
+import pytest
+
+from repro.obs.trend import (
+    HISTORY_VERSION,
+    append_entry,
+    load_history,
+    trend_report,
+)
+
+
+def _seed(path, bench, values, **extra):
+    for v in values:
+        append_entry(path, bench, wall_seconds=v, normalized=v, **extra)
+
+
+class TestHistoryStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        rec = append_entry(p, "hotpath_quick", 0.135, normalized=0.23,
+                           digest="abc123", meta={"refs": 800})
+        assert rec["v"] == HISTORY_VERSION
+        assert rec["git_sha"]  # resolved from git (or "unknown")
+        (loaded,) = load_history(p)
+        assert loaded["bench"] == "hotpath_quick"
+        assert loaded["normalized"] == 0.23
+        assert loaded["digest"] == "abc123"
+        assert loaded["meta"] == {"refs": 800}
+
+    def test_normalized_defaults_to_wall(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        append_entry(p, "b", 1.5)
+        assert load_history(p)[0]["normalized"] == 1.5
+
+    def test_load_skips_garbage_and_bad_versions(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        append_entry(p, "good", 1.0)
+        with open(p, "a") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"v": HISTORY_VERSION + 1, "bench": "x",
+                                 "normalized": 1.0}) + "\n")
+            fh.write(json.dumps({"v": HISTORY_VERSION, "bench": "neg",
+                                 "normalized": -1.0}) + "\n")
+            fh.write(json.dumps({"v": HISTORY_VERSION, "bench": "nan",
+                                 "normalized": float("nan")}) + "\n")
+            fh.write(json.dumps({"v": HISTORY_VERSION, "bench": 42,
+                                 "normalized": 1.0}) + "\n")
+            torn = json.dumps({"v": HISTORY_VERSION, "bench": "torn"})
+            fh.write(torn[:20])
+        entries = load_history(p)
+        assert [e["bench"] for e in entries] == ["good"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestTrendReport:
+    def test_single_run_has_no_baseline(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0])
+        (t,) = trend_report(load_history(p))
+        assert t.median is None and not t.regressed
+        assert "no baseline" in t.describe()
+
+    def test_steady_history_is_ok(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.05, 0.95, 1.0])
+        (t,) = trend_report(load_history(p))
+        assert t.median == 1.0 and not t.regressed
+        assert "ok" in t.describe()
+
+    def test_regression_beyond_tolerance_flagged(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.0, 1.0, 1.4])
+        (t,) = trend_report(load_history(p), tolerance=0.25)
+        assert t.regressed and t.ratio == pytest.approx(1.4)
+        assert "REGRESSED" in t.describe()
+
+    def test_median_absorbs_one_noisy_prior_run(self, tmp_path):
+        # latest-vs-previous would compare 1.0 against the 5.0 outlier and
+        # miss a real regression elsewhere; the median does not
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.0, 5.0, 1.0])
+        (t,) = trend_report(load_history(p))
+        assert t.median == 1.0 and not t.regressed
+
+    def test_window_limits_history_considered(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        # ancient slow runs must fall out of a window of 2
+        _seed(p, "b", [10.0, 10.0, 1.0, 1.0, 1.0])
+        (t,) = trend_report(load_history(p), window=2)
+        assert t.median == 1.0
+
+    def test_benchmarks_reported_independently(self, tmp_path):
+        p = tmp_path / "h.jsonl"
+        _seed(p, "fast", [1.0, 1.0, 1.0])
+        _seed(p, "slow", [1.0, 1.0, 2.0])
+        trends = {t.bench: t for t in trend_report(load_history(p))}
+        assert not trends["fast"].regressed
+        assert trends["slow"].regressed
+
+
+class TestBenchTrendCLI:
+    def test_no_history_warns(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "none.jsonl")
+        assert main(["bench-trend", "--history", path]) == 0
+        assert "no history" in capsys.readouterr().err
+
+    def test_no_history_fails_check(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["bench-trend", "--history",
+                     str(tmp_path / "none.jsonl"), "--check"]) == 1
+
+    def test_ok_history_passes_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.0, 1.0])
+        assert main(["bench-trend", "--history", str(p), "--check"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_fails_only_with_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.0, 2.0])
+        assert main(["bench-trend", "--history", str(p)]) == 0
+        capsys.readouterr()
+        assert main(["bench-trend", "--history", str(p), "--check"]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.0, 1.1])
+        assert main(["bench-trend", "--history", str(p), "--json"]) == 0
+        (verdict,) = json.loads(capsys.readouterr().out)
+        assert verdict["bench"] == "b"
+        assert verdict["ratio"] == pytest.approx(1.1)
+        assert verdict["regressed"] is False
+
+    def test_committed_history_is_loadable(self):
+        # the repo ships a seeded BENCH_history.jsonl; it must stay parseable
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[1] / "BENCH_history.jsonl"
+        if not committed.exists():
+            pytest.skip("no committed history in this tree")
+        entries = load_history(committed)
+        assert entries, "committed history has no valid entries"
+        assert {"hotpath_quick"} <= {e["bench"] for e in entries}
+
+    def test_tolerance_flag_respected(self, tmp_path):
+        from repro.cli import main
+
+        p = tmp_path / "h.jsonl"
+        _seed(p, "b", [1.0, 1.0, 1.2])
+        assert main(["bench-trend", "--history", str(p), "--check"]) == 0
+        assert main(["bench-trend", "--history", str(p), "--check",
+                     "--tolerance", "0.1"]) == 1
