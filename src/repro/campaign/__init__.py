@@ -41,7 +41,7 @@ from repro.campaign.manifest import (
     Manifest,
 )
 from repro.campaign.progress import CampaignProgress
-from repro.campaign.spec import Cell, grid_cells
+from repro.campaign.spec import Cell, fabric_grid_cells, grid_cells
 
 __all__ = [
     "Cell",
@@ -56,6 +56,7 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_TIMEOUT",
     "execute_cell",
+    "fabric_grid_cells",
     "grid_cells",
     "matrix_digest",
     "run_campaign",

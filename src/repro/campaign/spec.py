@@ -60,26 +60,42 @@ class Cell:
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
     scheme_kwargs: Optional[Dict[str, Any]] = None
     trace_config: Optional[HMCConfig] = None
+    #: fabric topology spec ("chain:4", "ring:2", ...); ``None`` runs the
+    #: single-cube :class:`~repro.system.System` path.  When set, the cell's
+    #: workload names a Table II mix replicated one-stream-per-cube (see
+    #: :meth:`repro.workloads.multistream.MultiStreamSpec.per_cube`).
+    topology: Optional[str] = None
 
     @property
     def cell_id(self) -> str:
         base = self.config.cache_key(self.workload, self.scheme)
-        token = _digest(
-            {
-                "hmc": self.config.hmc,
-                "scheme_kwargs": self.scheme_kwargs,
-                "trace_config": self.trace_config,
-            }
-        )
+        payload: Dict[str, Any] = {
+            "hmc": self.config.hmc,
+            "scheme_kwargs": self.scheme_kwargs,
+            "trace_config": self.trace_config,
+        }
+        if self.topology is not None:
+            # keyed in only when set: every pre-fabric cell id (caches,
+            # manifests, resume state) must stay byte-identical
+            payload["topology"] = self.topology
+            base = f"{base}@{self.topology}"
+        token = _digest(payload)
         return f"{base}|{token}"
 
     @property
     def cacheable(self) -> bool:
         """True when the shared :class:`ResultCache` key fully identifies
-        this cell (no scheme kwargs, no trace-config override)."""
-        return self.scheme_kwargs is None and self.trace_config is None
+        this cell (no scheme kwargs, no trace-config override, no fabric
+        topology - the cache key predates all three)."""
+        return (
+            self.scheme_kwargs is None
+            and self.trace_config is None
+            and self.topology is None
+        )
 
     def describe(self) -> str:
+        if self.topology is not None:
+            return f"{self.workload}/{self.scheme}@{self.topology}"
         return f"{self.workload}/{self.scheme}"
 
 
@@ -92,3 +108,30 @@ def grid_cells(
     (workload-major) order the serial :func:`run_matrix` loop uses."""
     cfg = config or ExperimentConfig()
     return [Cell(w, s, cfg) for w in workloads for s in schemes]
+
+
+def fabric_grid_cells(
+    topologies: Iterable[str],
+    workloads: Iterable[str],
+    schemes: Iterable[str],
+    config: Optional[ExperimentConfig] = None,
+) -> List[Cell]:
+    """The (topology x workload x scheme) scenario grid as a flat cell list.
+
+    Every topology spec is validated up front (a typo should fail the
+    campaign at build time, not after N-1 cells have run).  Order is
+    topology-major so all cells of one fabric shape land adjacent in
+    manifests and summaries.
+    """
+    from repro.fabric.topology import parse_topology
+
+    specs = list(topologies)
+    for spec in specs:
+        parse_topology(spec)
+    cfg = config or ExperimentConfig()
+    return [
+        Cell(w, s, cfg, topology=t)
+        for t in specs
+        for w in workloads
+        for s in schemes
+    ]

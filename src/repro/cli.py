@@ -130,8 +130,122 @@ def _result_json(result, cfg) -> str:
     return json.dumps(payload)
 
 
+def _run_fabric(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
+    """``repro run --topology chain:4``: one mix replicated one stream per
+    cube across a routed multi-cube fabric."""
+    from repro.fabric import FabricConfig, FabricSystem, FabricSystemConfig
+    from repro.workloads.multistream import MultiStreamSpec, build_stream_traces
+
+    try:
+        fabric = FabricConfig.from_spec(args.topology, hmc=cfg.hmc)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report_path = getattr(args, "report", None)
+    epoch = getattr(args, "epoch", None)
+    if report_path and epoch is None:
+        from repro.obs.timeseries import DEFAULT_EPOCH
+
+        epoch = DEFAULT_EPOCH
+    tracer = None
+    if args.trace or args.log_json or report_path or epoch is not None:
+        from pathlib import Path
+
+        for raw in (args.trace, args.log_json, report_path):
+            if raw and not Path(raw).resolve().parent.is_dir():
+                raise SystemExit(
+                    f"output directory does not exist: {Path(raw).resolve().parent}"
+                )
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    spec = MultiStreamSpec.per_cube(
+        args.mix, fabric.cubes, cfg.refs_per_core, seed=cfg.seed
+    )
+    fsys = FabricSystem(
+        build_stream_traces(spec, fabric),
+        FabricSystemConfig(
+            fabric=fabric, scheme=args.scheme, timeseries_epoch=epoch
+        ),
+        workload=args.mix,
+        tracer=tracer,
+    )
+    result = fsys.run()
+    fx = result.extra["fabric"]
+
+    if args.json:
+        payload = json.loads(_result_json(result, cfg))
+        payload["topology"] = fabric.spec
+        payload["fabric"] = {
+            key: fx[key]
+            for key in (
+                "cubes",
+                "mean_hops",
+                "hop_histogram",
+                "hop_flits",
+                "fabric_link_utilization",
+                "per_cube",
+            )
+        }
+        print(json.dumps(payload))
+    else:
+        print(
+            f"{args.mix} @ {fabric.spec} / {args.scheme} "
+            f"({cfg.refs_per_core} refs/core x {fabric.cubes} stream(s), "
+            f"seed {cfg.seed})"
+        )
+        print(f"  cycles              {result.cycles}")
+        print(f"  geomean IPC         {result.geomean_ipc:.3f}")
+        print(f"  conflict rate       {result.conflict_rate:.3f}")
+        print(f"  prefetches issued   {result.prefetches_issued}")
+        print(f"  prefetch accuracy   {result.row_accuracy:.1%} (rows) / "
+              f"{result.line_accuracy:.1%} (lines)")
+        print(f"  mean read latency   {result.mean_read_latency:.0f} cycles")
+        print(f"  HMC energy          {result.energy_pj / 1e6:.1f} uJ")
+        hist = " ".join(
+            f"{h}:{n}" for h, n in sorted(fx["hop_histogram"].items())
+        )
+        print(f"  mean hops           {fx['mean_hops']:.2f}  ({hist})")
+        print(f"  host link util      {result.link_utilization:.1%}")
+        if fabric.cubes > 1:
+            print(f"  fabric link util    {fx['fabric_link_utilization']:.1%}")
+            rates = ", ".join(
+                f"q{p['cube']}:{p['conflict_rate']:.3f}" for p in fx["per_cube"]
+            )
+            print(f"  per-cube conflicts  {rates}")
+
+    if tracer is not None:
+        from repro.obs import text_summary, write_chrome_trace, write_jsonl
+
+        if args.trace:
+            path = write_chrome_trace(tracer, args.trace)
+            if not args.json:
+                print(f"  wrote Chrome trace  {path} "
+                      f"({len(tracer.events)} events; open in ui.perfetto.dev)")
+        if args.log_json:
+            path = write_jsonl(tracer, args.log_json)
+            if not args.json:
+                print(f"  wrote JSONL log     {path}")
+        if report_path:
+            from repro.obs import build_run_report
+
+            path = build_run_report(
+                fsys, result,
+                mix=args.mix, topology=fabric.spec,
+                refs_per_core=cfg.refs_per_core, seed=cfg.seed,
+            ).save(report_path)
+            if not args.json:
+                print(f"  wrote run report    {path} (diff/render with "
+                      f"`repro diff` / `repro report`)")
+        if not args.json:
+            print()
+            print(text_summary(tracer))
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _experiment_config(args)
+    if getattr(args, "topology", None):
+        return _run_fabric(args, cfg)
     tracer = None
     system = None
     report_path = getattr(args, "report", None)
@@ -314,17 +428,38 @@ def _parse_schemes(raw: Optional[str]) -> List[str]:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Sharded grid run with manifest, timeouts, retry and resume."""
-    from repro.campaign import CampaignOptions, Manifest, grid_cells, run_campaign
+    from repro.campaign import (
+        CampaignOptions,
+        Manifest,
+        fabric_grid_cells,
+        grid_cells,
+        matrix_digest,
+        run_campaign,
+    )
     from repro.experiments.runner import default_cache
 
     mixes = _parse_mixes(args.mixes)
     schemes = _parse_schemes(args.schemes)
     cfg = _experiment_config(args)
-    cells = grid_cells(mixes, schemes, cfg)
+    topologies = [
+        t.strip()
+        for t in (getattr(args, "topology", None) or "").split(",")
+        if t.strip()
+    ]
+    if topologies:
+        try:
+            cells = fabric_grid_cells(topologies, mixes, schemes, cfg)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        cells = grid_cells(mixes, schemes, cfg)
     if not args.quiet:
+        shape = f"{len(mixes)} mixes x {len(schemes)} schemes"
+        if topologies:
+            shape = f"{len(topologies)} topologies x " + shape
         print(
-            f"campaign: {len(cells)} cells ({len(mixes)} mixes x "
-            f"{len(schemes)} schemes), {args.jobs} worker(s), "
+            f"campaign: {len(cells)} cells ({shape}), "
+            f"{args.jobs} worker(s), "
             f"{cfg.refs_per_core} refs/core, seed {cfg.seed}"
         )
     res = run_campaign(
@@ -374,15 +509,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f" ({tail[-1] if tail else 'no detail'})")
     if res.failures:
         return 1
+    # one-line determinism fingerprint: serial and sharded runs of the same
+    # cells must print the same digest (see repro.campaign.matrix_digest)
+    print(f"matrix digest: {matrix_digest(res.matrix())}")
     if not args.quiet:
         matrix = res.matrix()
+        # fabric cells record topology-qualified workloads ("MX1@chain:4")
+        rows = (
+            [f"{w}@{t}" for t in topologies for w in mixes]
+            if topologies
+            else mixes
+        )
+        width = max(10, max(len(r) for r in rows) + 2)
         print()
-        print(f"{'workload':<10}" + "".join(f"{s:>12}" for s in schemes))
-        for w in mixes:
+        print(f"{'workload':<{width}}" + "".join(f"{s:>12}" for s in schemes))
+        for w in rows:
             cells_txt = "".join(
                 f"{matrix.get(w, s).geomean_ipc:>12.3f}" for s in schemes
             )
-            print(f"{w:<10}{cells_txt}")
+            print(f"{w:<{width}}{cells_txt}")
         print("(geomean IPC per cell)")
     return 0
 
@@ -719,6 +864,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--epoch", type=int, metavar="N",
                        help="time-series sampling period in cycles "
                        "(default 1024 when --report is given)")
+    p_run.add_argument("--topology", metavar="SPEC",
+                       help="run a multi-cube fabric instead of one cube: "
+                       "'chain:4', 'ring:2', 'star:8' (one independent "
+                       "stream of the mix per cube)")
     _add_robustness_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -808,6 +957,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-interval", dest="telemetry_interval", type=float,
         default=0.5, metavar="SECONDS",
         help="seconds between worker heartbeats (default 0.5)",
+    )
+    p_camp.add_argument(
+        "--topology", metavar="SPECS",
+        help="comma-separated fabric topologies ('chain:2,chain:4,ring:4'): "
+        "runs the (topology x mix x scheme) scenario grid on multi-cube "
+        "fabrics instead of the single-cube grid",
     )
     _add_robustness_args(p_camp)
     p_camp.add_argument("--quiet", action="store_true")

@@ -1,0 +1,42 @@
+"""Routed multi-cube HMC fabric.
+
+Generalizes :mod:`repro.hmc` + :mod:`repro.interconnect` from one device to
+a fabric of 1-8 cubes in daisy-chain, ring, or star (host fan-out)
+topologies: cube-select address bits, static shortest-path routing, per-hop
+latency/energy/contention over inter-cube serial links (with the standard
+fault/retry machinery per hop), and CAMPS running per-vault in every cube.
+
+Entry points: :class:`FabricConfig` (``FabricConfig.from_spec("chain:4")``)
+describes the fabric, :class:`~repro.fabric.system.FabricSystem` simulates
+it, and :func:`~repro.workloads.multistream.build_stream_traces` supplies
+the multi-stream workloads.  See ``docs/API.md`` (Fabric) and
+``examples/fabric_study.py``.
+"""
+
+from repro.fabric.address import FabricAddressMapping, FabricDecodedAddress
+from repro.fabric.host import FabricHost
+from repro.fabric.router import FABRIC_LINK_ID_BASE, FabricLink, Router
+from repro.fabric.system import FabricSystem, FabricSystemConfig
+from repro.fabric.topology import (
+    MAX_CUBES,
+    TOPOLOGIES,
+    FabricConfig,
+    Topology,
+    parse_topology,
+)
+
+__all__ = [
+    "FABRIC_LINK_ID_BASE",
+    "MAX_CUBES",
+    "TOPOLOGIES",
+    "FabricAddressMapping",
+    "FabricConfig",
+    "FabricDecodedAddress",
+    "FabricHost",
+    "FabricLink",
+    "FabricSystem",
+    "FabricSystemConfig",
+    "Router",
+    "Topology",
+    "parse_topology",
+]

@@ -1,0 +1,162 @@
+"""Cube-select address extension for multi-cube fabrics.
+
+:class:`FabricAddressMapping` extends the single-cube
+:class:`~repro.hmc.address.AddressMapping` with a *cube* field: the
+cube-select bits sit directly above the highest movable field (column /
+vault / bank) and below the rank/row bits, for every entry in
+``MAPPING_ORDERS``.  That placement keeps the property CAMPS depends on -
+all 16 lines of one DRAM row stay inside one vault of one cube, so a
+whole-row prefetch still captures the stream's spatial locality - while
+interleaving consecutive *row groups* across cubes for fabric-level load
+balance (the Yoon et al. row-buffer-locality argument, applied one level
+up).
+
+Cube counts need not be powers of two (a 3-cube chain is legal): decode
+folds the extracted field modulo ``cubes`` so every address maps to a real
+cube; :meth:`encode` only accepts in-range cube ids, so encode -> decode
+round-trips exactly.
+
+With ``cubes == 1`` there are zero cube bits and every shift/mask equals
+the base mapping's - a one-cube fabric decodes byte-identically to the
+single-cube path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hmc.address import AddressMapping
+from repro.hmc.config import HMCConfig
+
+
+@dataclass(frozen=True)
+class FabricDecodedAddress:
+    """The coordinates of one cache line inside the fabric."""
+
+    cube: int
+    vault: int
+    bank: int
+    row: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"q{self.cube}.v{self.vault}.b{self.bank}.r{self.row}.c{self.column}"
+
+
+class FabricAddressMapping(AddressMapping):
+    """Address <-> (cube, vault, bank, row, column) mapping.
+
+    Field validation (including the clear unknown-``order`` ValueError
+    listing ``MAPPING_ORDERS``) is inherited from the base mapping; this
+    class splices ``ceil(log2(cubes))`` cube bits in at the pre-rank shift
+    and lifts the rank/row shifts above them.
+    """
+
+    def __init__(
+        self, config: HMCConfig, cubes: int = 1, order: Optional[str] = None
+    ) -> None:
+        if cubes < 1:
+            raise ValueError(f"cubes must be >= 1, got {cubes}")
+        super().__init__(config, order=order)
+        self.cubes = cubes
+        self.cube_bits = (cubes - 1).bit_length()
+        self.cube_shift = self.rank_shift
+        self.cube_mask = (1 << self.cube_bits) - 1
+        self.rank_shift += self.cube_bits
+        self.row_shift += self.cube_bits
+
+    # ------------------------------------------------------------------
+    # Scalar interface
+    # ------------------------------------------------------------------
+    def cube_of(self, addr: int) -> int:
+        """Home cube of a byte address."""
+        return ((addr >> self.cube_shift) & self.cube_mask) % self.cubes
+
+    def decode(self, addr: int) -> FabricDecodedAddress:
+        """Decode a byte address into fabric coordinates."""
+        if addr < 0:
+            raise ValueError(f"address must be non-negative, got {addr}")
+        return FabricDecodedAddress(
+            cube=((addr >> self.cube_shift) & self.cube_mask) % self.cubes,
+            vault=(addr >> self.vault_shift) & self.vault_mask,
+            bank=(addr >> self.bank_shift) & self.bank_mask,
+            row=addr >> self.row_shift,
+            column=(addr >> self.column_shift) & self.column_mask,
+        )
+
+    def encode(
+        self,
+        vault: int,
+        bank: int,
+        row: int,
+        column: int = 0,
+        cube: int = 0,
+    ) -> int:
+        """Build the byte address of a line from its fabric coordinates."""
+        if not 0 <= cube < self.cubes:
+            raise ValueError(f"cube {cube} out of range (fabric has {self.cubes})")
+        base = super().encode(vault, bank, 0, column)
+        return base | (cube << self.cube_shift) | (row << self.row_shift)
+
+    # ------------------------------------------------------------------
+    # Vectorized interface (trace preprocessing)
+    # ------------------------------------------------------------------
+    def decode_many(
+        self, addrs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized decode; returns (cube, vault, bank, row, column)."""
+        a = np.asarray(addrs, dtype=np.int64)
+        cube = ((a >> self.cube_shift) & self.cube_mask) % self.cubes
+        vault = (a >> self.vault_shift) & self.vault_mask
+        bank = (a >> self.bank_shift) & self.bank_mask
+        row = a >> self.row_shift
+        column = (a >> self.column_shift) & self.column_mask
+        return cube, vault, bank, row, column
+
+    def encode_many(
+        self,
+        vault: np.ndarray,
+        bank: np.ndarray,
+        row: np.ndarray,
+        column: np.ndarray,
+        cube: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized encode of coordinate arrays into byte addresses."""
+        out = (
+            (np.asarray(row, dtype=np.int64) << self.row_shift)
+            | (np.asarray(bank, dtype=np.int64) << self.bank_shift)
+            | (np.asarray(vault, dtype=np.int64) << self.vault_shift)
+            | (np.asarray(column, dtype=np.int64) << self.column_shift)
+        )
+        if cube is not None:
+            out |= np.asarray(cube, dtype=np.int64) << self.cube_shift
+        return out
+
+    def relocate_home(self, addrs: np.ndarray, cube: int) -> np.ndarray:
+        """Splice a single-cube address stream into one cube's slice.
+
+        The bits above ``cube_shift`` move up by ``cube_bits`` and the home
+        cube id is inserted, so a stream generated against a one-cube
+        address space lands entirely in ``cube`` while keeping its exact
+        (vault, bank, row, column) footprint - the locality-aware stream
+        placement the multi-stream workload spec uses.  With one cube this
+        is the identity.
+        """
+        if not 0 <= cube < self.cubes:
+            raise ValueError(f"cube {cube} out of range (fabric has {self.cubes})")
+        a = np.asarray(addrs, dtype=np.int64)
+        if self.cube_bits == 0:
+            return a.copy()
+        shift = self.cube_shift
+        low = a & ((1 << shift) - 1)
+        high = a >> shift
+        return (high << (shift + self.cube_bits)) | (cube << shift) | low
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FabricAddressMapping cubes={self.cubes} "
+            f"Qu[{self.cube_shift}+{self.cube_bits}] order={self.order}>"
+        )

@@ -1,0 +1,189 @@
+"""Fabric topology descriptions and static routing tables.
+
+Three inter-cube topologies, mirroring the deployments Hadidi et al.
+characterize for 3D-stacked memory networks:
+
+``chain``
+    Daisy chain ``0 - 1 - ... - n-1``; the host attaches to cube 0 and
+    every non-local packet is forwarded hop by hop down the chain.
+``ring``
+    The chain plus a closing edge ``n-1 - 0``; packets take the shorter
+    direction around the ring.
+``star``
+    Host fan-out: every cube hangs directly off the host's serial links
+    and there are no inter-cube edges at all.
+
+Routing is static shortest-path (BFS with sorted neighbor order, so the
+next-hop tables are fully deterministic), computed once at construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.hmc.config import HMCConfig
+
+TOPOLOGIES: Tuple[str, ...] = ("chain", "ring", "star")
+MAX_CUBES = 8
+
+
+def parse_topology(spec: str) -> Tuple[str, int]:
+    """Parse a ``name:cubes`` CLI spec such as ``chain:4``.
+
+    A bare name means one cube (every topology degenerates to the plain
+    single-cube system).  Raises ``ValueError`` with the valid choices on
+    anything malformed.
+    """
+    text = spec.strip().lower()
+    name, sep, count = text.partition(":")
+    if name not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {', '.join(TOPOLOGIES)}"
+        )
+    if not sep:
+        cubes = 1
+    else:
+        try:
+            cubes = int(count)
+        except ValueError:
+            raise ValueError(
+                f"bad cube count {count!r} in topology spec {spec!r}"
+            ) from None
+    if not 1 <= cubes <= MAX_CUBES:
+        raise ValueError(
+            f"cube count must be between 1 and {MAX_CUBES}, got {cubes}"
+        )
+    return name, cubes
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """A fabric of identical cubes plus the inter-cube hop cost model.
+
+    ``hop_latency`` is the per-hop forwarding delay in cycles (SerDes
+    re-serialization plus switch traversal) charged each time a packet is
+    relayed through or out of a cube; ``hop_energy_pj`` is the per-flit
+    energy of an inter-cube hop, charged on top of the host-link flit
+    energy already modeled by :class:`~repro.dram.energy.EnergyModel`.
+    """
+
+    topology: str = "chain"
+    cubes: int = 1
+    hmc: HMCConfig = field(default_factory=HMCConfig)
+    hop_latency: int = 6
+    hop_energy_pj: float = 48.0
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"available: {', '.join(TOPOLOGIES)}"
+            )
+        if not 1 <= self.cubes <= MAX_CUBES:
+            raise ValueError(
+                f"cube count must be between 1 and {MAX_CUBES}, got {self.cubes}"
+            )
+        if self.hop_latency < 0:
+            raise ValueError(f"hop_latency must be >= 0, got {self.hop_latency}")
+
+    @classmethod
+    def from_spec(cls, spec: str, hmc: Optional[HMCConfig] = None, **kw) -> "FabricConfig":
+        name, cubes = parse_topology(spec)
+        if hmc is None:
+            hmc = HMCConfig()
+        return cls(topology=name, cubes=cubes, hmc=hmc, **kw)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.topology}:{self.cubes}"
+
+    def with_hmc(self, hmc: HMCConfig) -> "FabricConfig":
+        return replace(self, hmc=hmc)
+
+
+class Topology:
+    """Static shortest-path routing over a :class:`FabricConfig`.
+
+    Attributes
+    ----------
+    edges:
+        Sorted ``(lo, hi)`` inter-cube edges (empty for ``star``).
+    next_hop:
+        ``next_hop[src][dst]`` is the neighbor cube a packet at ``src``
+        must be forwarded to on its way to ``dst`` (``src`` itself when
+        already home).
+    entry_cube:
+        The cube a host-issued packet enters the fabric at: the target
+        itself under ``star`` fan-out, cube 0 for chain/ring.
+    host_hops:
+        Total link traversals (host link + inter-cube forwards) a request
+        to each cube costs - the hop-count histogram's x axis.
+    """
+
+    def __init__(self, config: FabricConfig) -> None:
+        self.config = config
+        n = config.cubes
+        self.cubes = n
+        self.edges = self._build_edges(config.topology, n)
+        adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for a, b in self.edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        for nbrs in adjacency.values():
+            nbrs.sort()
+        self.adjacency = adjacency
+        self.next_hop: List[List[int]] = [self._bfs(src, adjacency, n) for src in range(n)]
+        self.host_hops: List[int] = [1 + self.path_length(self.entry_cube(c), c) for c in range(n)]
+
+    @staticmethod
+    def _build_edges(topology: str, n: int) -> List[Tuple[int, int]]:
+        if n <= 1 or topology == "star":
+            return []
+        edges = [(i, i + 1) for i in range(n - 1)]
+        if topology == "ring" and n > 2:
+            edges.append((0, n - 1))
+        return edges
+
+    @staticmethod
+    def _bfs(src: int, adjacency: Dict[int, List[int]], n: int) -> List[int]:
+        # first_hop[dst] = neighbor of src on a shortest src->dst path;
+        # sorted neighbor order makes tie-breaks deterministic.
+        first_hop = [src] * n
+        dist = [-1] * n
+        dist[src] = 0
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    first_hop[v] = v if u == src else first_hop[u]
+                    queue.append(v)
+        return first_hop
+
+    def entry_cube(self, target: int) -> int:
+        """The cube a host packet for ``target`` enters the fabric at."""
+        if self.config.topology == "star":
+            return target
+        return 0
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Inter-cube hops between two cubes along the routed path."""
+        hops = 0
+        cur = src
+        while cur != dst:
+            cur = self.next_hop[cur][dst]
+            hops += 1
+            if hops > self.cubes:  # pragma: no cover - defensive
+                raise RuntimeError(f"routing loop between cubes {src} and {dst}")
+        return hops
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "topology": self.config.topology,
+            "cubes": self.cubes,
+            "edges": [list(e) for e in self.edges],
+            "host_hops": list(self.host_hops),
+        }

@@ -263,8 +263,7 @@ class HostController:
         self.latency_hist.reset()
         self.read_latency_hist.reset()
         for link in self.links:
-            for d in (link.request, link.response):
-                d.reset_statistics()
+            link.reset_statistics()
 
     @property
     def outstanding(self) -> int:

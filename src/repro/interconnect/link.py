@@ -187,6 +187,14 @@ class SerialLink:
             injector = LinkFaultInjector(config, self.link_id, tag)
             d.retry = RetryBuffer(config, injector)
 
+    def reset_statistics(self) -> None:
+        """Warmup boundary for the whole link: both directions zero their
+        traffic counters AND any attached retry/fault counters (see
+        :meth:`LinkDirection.reset_statistics`), so a mid-run reset can
+        never double-count replays already folded into earlier summaries."""
+        self.request.reset_statistics()
+        self.response.reset_statistics()
+
     @property
     def total_flits(self) -> int:
         return self.request.flits_sent + self.response.flits_sent

@@ -340,6 +340,66 @@ class TimeseriesSampler:
         )
 
 
+    def attach_fabric(self, fsys: Any) -> None:
+        """Wire the standard fabric gauges against a built
+        :class:`~repro.fabric.system.FabricSystem` (before ``run``).
+
+        Registers per-cube windowed conflict rates (one series per cube,
+        not per vault - 8 cubes of 32 vaults would swamp the payload),
+        host- and inter-cube-link utilization, the mean hop count, and the
+        fabric-wide windowed buffer hit rate.
+        """
+        host = fsys.host
+        devices = fsys.devices
+        epoch = self.epoch
+
+        for c, device in enumerate(devices):
+            banks = [b for vc in device.vaults for b in vc.banks]
+            self.track_ratio(
+                f"cube{c}.conflict_rate",
+                lambda banks=banks: sum(b.conflicts for b in banks),
+                lambda banks=banks: sum(
+                    b.hits + b.empties + b.conflicts for b in banks
+                ),
+            )
+        buf_hits = [
+            vc.stats.counter("buffer_hits")
+            for device in devices
+            for vc in device.vaults
+        ]
+        all_banks = [
+            b for device in devices for vc in device.vaults for b in vc.banks
+        ]
+        self.track_ratio(
+            "buffer.hit_rate",
+            lambda: sum(c.value for c in buf_hits),
+            lambda: sum(c.value for c in buf_hits)
+            + sum(b.hits + b.empties + b.conflicts for b in all_banks),
+        )
+
+        links = host.links
+        link_cap = 2 * len(links) * epoch
+        self.track_rate(
+            "host.link_utilization",
+            lambda: sum(l.total_busy_cycles for l in links) / link_cap * epoch,
+        )
+        flinks = host.fabric_links
+        if flinks:
+            flink_cap = 2 * len(flinks) * epoch
+            self.track_rate(
+                "fabric.link_utilization",
+                lambda: sum(l.total_busy_cycles for l in flinks)
+                / flink_cap
+                * epoch,
+            )
+            routers = host.routers
+            self.track_rate(
+                "fabric.hop_flit_rate",
+                lambda: float(sum(r.hop_flits for r in routers)),
+            )
+        hop_hist = host.hop_hist
+        self.track("fabric.mean_hops", lambda: hop_hist.mean)
+
     # ------------------------------------------------------------------
     # Ticking
     # ------------------------------------------------------------------

@@ -298,6 +298,69 @@ class Tracer:
                 for attr in ("acts", "pres", "reads", "writes", "conflicts", "hits", "empties"):
                     bs.register(attr, (lambda b=bank, a=attr: getattr(b, a)))
 
+    def wire_fabric(self, fsys: Any) -> None:
+        """Install this tracer on a built (not yet run)
+        :class:`~repro.fabric.system.FabricSystem`.
+
+        The registry is kept bounded for 8-cube fabrics: per-link counters
+        for host and inter-cube links, per-cube aggregates plus router
+        forwarding counters - no per-bank fan-out (32 vaults x 16 banks x 8
+        cubes would dwarf every other scope combined).
+        """
+        engine = fsys.engine
+        engine.tracer = self
+        self._engine = engine
+        self.meta.setdefault("scheme", fsys.config.scheme)
+        self.meta.setdefault("workload", fsys.workload)
+        self.meta.setdefault("topology", fsys.fabric.spec)
+
+        host = fsys.host
+        host.tracer = self
+        dev_scope = self.counters.scope("device")
+        dev_scope.register("events_fired", lambda: engine.events_fired)
+        dev_scope.register("cycles", lambda: engine.now)
+        host_scope = self.counters.scope("host")
+        for name, counter in host.stats.counters.items():
+            host_scope.register(name, counter)
+        for link in (*host.links, *host.fabric_links):
+            ls = host_scope.scope(f"link{link.link_id}")
+            for d in (link.request, link.response):
+                d.tracer = self
+                direction = d.name.rsplit(".", 1)[-1]
+                ls.register(f"{direction}_packets", (lambda d=d: d.packets))
+                ls.register(f"{direction}_bytes", (lambda d=d: d.bytes_sent))
+                if d.retry is not None:
+                    ls.register(f"{direction}_replays", (lambda d=d: d.retry.replays))
+                    ls.register(f"{direction}_retrains", (lambda d=d: d.retry.retrains))
+
+        for c, device in enumerate(fsys.devices):
+            router = host.routers[c]
+            cs = self.counters.scope(f"cube{c}")
+            cs.register("demand_accesses", (lambda dev=device: dev.demand_accesses))
+            cs.register("row_conflicts", (lambda dev=device: dev.row_conflicts))
+            cs.register("buffer_hits", (lambda dev=device: dev.buffer_hits))
+            cs.register(
+                "prefetches_issued", (lambda dev=device: dev.prefetches_issued())
+            )
+            cs.register(
+                "crossbar_traversals", (lambda dev=device: dev.crossbar.traversals)
+            )
+            cs.register("router_local_requests", (lambda r=router: r.local_requests))
+            cs.register(
+                "router_forwarded_requests", (lambda r=router: r.forwarded_requests)
+            )
+            cs.register(
+                "router_forwarded_responses",
+                (lambda r=router: r.forwarded_responses),
+            )
+            cs.register("router_hop_flits", (lambda r=router: r.hop_flits))
+            for vc in device.vaults:
+                vc.tracer = self
+                vc.scheduler.tracer = self
+                vc.prefetcher.tracer = self
+                for bank in vc.banks:
+                    bank.tracer = self
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------

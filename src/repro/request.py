@@ -36,6 +36,7 @@ class MemoryRequest:
         "addr",
         "is_write",
         "core_id",
+        "cube",
         "vault",
         "bank",
         "row",
@@ -66,7 +67,10 @@ class MemoryRequest:
         self.addr = addr
         self.is_write = is_write
         self.core_id = core_id
-        # cube coordinates, filled by the host controller's address decode
+        # cube coordinates, filled by the host controller's address decode;
+        # ``cube`` stays 0 on the single-cube path (only the fabric host
+        # writes it, before any read - safe across pool recycling)
+        self.cube = 0
         self.vault = -1
         self.bank = -1
         self.row = -1

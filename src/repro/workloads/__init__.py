@@ -14,6 +14,11 @@ from repro.workloads.trace import Trace, trace_stats
 from repro.workloads.spec import BenchmarkProfile, PROFILES, profile
 from repro.workloads.synthetic import TraceGenerator, generate_trace
 from repro.workloads.mixes import MIXES, HM_MIXES, LM_MIXES, MX_MIXES, mix, mix_names
+from repro.workloads.multistream import (
+    MultiStreamSpec,
+    StreamSpec,
+    build_stream_traces,
+)
 from repro.workloads.analysis import RowBufferProfile, analyze_mix, analyze_row_buffer
 
 __all__ = [
@@ -30,6 +35,9 @@ __all__ = [
     "MX_MIXES",
     "mix",
     "mix_names",
+    "MultiStreamSpec",
+    "StreamSpec",
+    "build_stream_traces",
     "RowBufferProfile",
     "analyze_mix",
     "analyze_row_buffer",

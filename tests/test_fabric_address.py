@@ -1,0 +1,171 @@
+"""Unit tests for the cube-select fabric address mapping."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.address import FabricAddressMapping, FabricDecodedAddress
+from repro.hmc.address import MAPPING_ORDERS, AddressMapping
+from repro.hmc.config import HMCConfig
+
+CUBE_COUNTS = (1, 2, 3, 4, 8)
+
+
+@pytest.fixture
+def config() -> HMCConfig:
+    return HMCConfig()
+
+
+class TestConstruction:
+    def test_unknown_order_rejected_by_base(self, config):
+        with pytest.raises(ValueError, match="unknown mapping order"):
+            AddressMapping(config, order="nonsense")
+
+    def test_unknown_order_rejected_through_fabric(self, config):
+        """The inherited validation must fire through the subclass too."""
+        with pytest.raises(ValueError, match="unknown mapping order"):
+            FabricAddressMapping(config, cubes=4, order="nonsense")
+
+    def test_unknown_order_error_lists_choices(self, config):
+        with pytest.raises(ValueError) as err:
+            FabricAddressMapping(config, cubes=2, order="rrv")
+        for order in MAPPING_ORDERS:
+            assert order in str(err.value)
+
+    def test_bad_cube_count_rejected(self, config):
+        with pytest.raises(ValueError, match="cubes"):
+            FabricAddressMapping(config, cubes=0)
+
+    def test_cube_bits(self, config):
+        for cubes, bits in ((1, 0), (2, 1), (3, 2), (4, 2), (8, 3)):
+            assert FabricAddressMapping(config, cubes).cube_bits == bits
+
+    def test_one_cube_matches_base_mapping(self, config):
+        """Zero cube bits: every shift equals the single-cube mapping's."""
+        for order in MAPPING_ORDERS:
+            base = AddressMapping(config, order=order)
+            fab = FabricAddressMapping(config, cubes=1, order=order)
+            assert fab.cube_bits == 0
+            assert fab.vault_shift == base.vault_shift
+            assert fab.bank_shift == base.bank_shift
+            assert fab.column_shift == base.column_shift
+            assert fab.row_shift == base.row_shift
+            assert fab.rank_shift == base.rank_shift
+
+
+class TestDecodeEquivalence:
+    @pytest.mark.parametrize("order", sorted(MAPPING_ORDERS))
+    @pytest.mark.parametrize("cubes", CUBE_COUNTS)
+    def test_vectorized_matches_scalar(self, config, order, cubes):
+        """decode_many must agree with the scalar decode on every field,
+        for every mapping order and cube count, on randomized addresses."""
+        m = FabricAddressMapping(config, cubes=cubes, order=order)
+        rng = np.random.default_rng(1000 * cubes + len(order))
+        addrs = rng.integers(0, 1 << 34, size=256, dtype=np.int64)
+        qs, vs, bs, rs, cs = m.decode_many(addrs)
+        for i, addr in enumerate(addrs.tolist()):
+            d = m.decode(addr)
+            assert (d.cube, d.vault, d.bank, d.row, d.column) == (
+                int(qs[i]), int(vs[i]), int(bs[i]), int(rs[i]), int(cs[i])
+            ), f"order={order} cubes={cubes} addr={addr:#x}"
+
+    @pytest.mark.parametrize("cubes", CUBE_COUNTS)
+    def test_cube_of_matches_decode(self, config, cubes):
+        m = FabricAddressMapping(config, cubes=cubes)
+        rng = np.random.default_rng(cubes)
+        for addr in rng.integers(0, 1 << 34, size=64).tolist():
+            assert m.cube_of(int(addr)) == m.decode(int(addr)).cube
+
+    def test_non_power_of_two_folds_in_range(self, config):
+        m = FabricAddressMapping(config, cubes=3)
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 1 << 34, size=512, dtype=np.int64)
+        cube, *_ = m.decode_many(addrs)
+        assert cube.min() >= 0 and cube.max() < 3
+
+    def test_negative_address_rejected(self, config):
+        with pytest.raises(ValueError):
+            FabricAddressMapping(config, cubes=2).decode(-1)
+
+
+class TestEncode:
+    @pytest.mark.parametrize("cubes", (2, 4, 8))
+    def test_round_trip(self, config, cubes):
+        m = FabricAddressMapping(config, cubes=cubes)
+        rng = np.random.default_rng(cubes)
+        for _ in range(64):
+            coords = FabricDecodedAddress(
+                cube=int(rng.integers(cubes)),
+                vault=int(rng.integers(config.vaults)),
+                bank=int(rng.integers(config.banks_per_vault)),
+                row=int(rng.integers(1 << 12)),
+                column=int(rng.integers(config.lines_per_row)),
+            )
+            addr = m.encode(
+                coords.vault, coords.bank, coords.row, coords.column,
+                cube=coords.cube,
+            )
+            assert m.decode(addr) == coords
+
+    def test_encode_many_matches_scalar(self, config):
+        m = FabricAddressMapping(config, cubes=4)
+        rng = np.random.default_rng(11)
+        n = 128
+        cube = rng.integers(0, 4, size=n)
+        vault = rng.integers(0, config.vaults, size=n)
+        bank = rng.integers(0, config.banks_per_vault, size=n)
+        row = rng.integers(0, 1 << 12, size=n)
+        col = rng.integers(0, config.lines_per_row, size=n)
+        out = m.encode_many(vault, bank, row, col, cube=cube)
+        for i in range(n):
+            assert int(out[i]) == m.encode(
+                int(vault[i]), int(bank[i]), int(row[i]), int(col[i]),
+                cube=int(cube[i]),
+            )
+
+    def test_out_of_range_cube_rejected(self, config):
+        m = FabricAddressMapping(config, cubes=2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.encode(0, 0, 0, cube=2)
+
+
+class TestRelocateHome:
+    def test_identity_at_one_cube(self, config):
+        m = FabricAddressMapping(config, cubes=1)
+        addrs = np.arange(0, 1 << 20, 4096, dtype=np.int64)
+        np.testing.assert_array_equal(m.relocate_home(addrs, 0), addrs)
+
+    @pytest.mark.parametrize("cubes", (2, 3, 4))
+    def test_preserves_intra_cube_footprint(self, config, cubes):
+        """Relocation moves a stream into one cube without disturbing its
+        (vault, bank, row, column) coordinates."""
+        base = AddressMapping(config)
+        m = FabricAddressMapping(config, cubes=cubes)
+        rng = np.random.default_rng(cubes)
+        addrs = rng.integers(0, 1 << 32, size=256, dtype=np.int64)
+        for cube in range(cubes):
+            moved = m.relocate_home(addrs, cube)
+            qs, vs, bs, rs, cs = m.decode_many(moved)
+            assert (qs == cube).all()
+            np.testing.assert_array_equal(
+                vs, (addrs >> base.vault_shift) & base.vault_mask
+            )
+            np.testing.assert_array_equal(
+                bs, (addrs >> base.bank_shift) & base.bank_mask
+            )
+            np.testing.assert_array_equal(rs, addrs >> base.row_shift)
+            np.testing.assert_array_equal(
+                cs, (addrs >> base.column_shift) & base.column_mask
+            )
+
+    def test_distinct_cubes_get_disjoint_slices(self, config):
+        m = FabricAddressMapping(config, cubes=4)
+        addrs = np.arange(0, 1 << 22, 64, dtype=np.int64)
+        seen = [set(m.relocate_home(addrs, c).tolist()) for c in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (seen[i] & seen[j])
+
+    def test_out_of_range_cube_rejected(self, config):
+        m = FabricAddressMapping(config, cubes=2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.relocate_home(np.zeros(4, dtype=np.int64), 5)

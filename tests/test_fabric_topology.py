@@ -1,0 +1,133 @@
+"""Unit tests for fabric topologies and static routing."""
+
+import pytest
+
+from repro.fabric.topology import (
+    MAX_CUBES,
+    TOPOLOGIES,
+    FabricConfig,
+    Topology,
+    parse_topology,
+)
+from repro.hmc.config import HMCConfig
+
+
+class TestParseTopology:
+    def test_spec_with_count(self):
+        assert parse_topology("chain:4") == ("chain", 4)
+        assert parse_topology("ring:5") == ("ring", 5)
+        assert parse_topology("star:8") == ("star", 8)
+
+    def test_bare_name_means_one_cube(self):
+        for name in TOPOLOGIES:
+            assert parse_topology(name) == (name, 1)
+
+    def test_case_and_whitespace_tolerant(self):
+        assert parse_topology(" Chain:2 ") == ("chain", 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            parse_topology("mesh:4")
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError, match="bad cube count"):
+            parse_topology("chain:four")
+
+    def test_count_out_of_range(self):
+        with pytest.raises(ValueError, match="between 1 and"):
+            parse_topology("chain:0")
+        with pytest.raises(ValueError, match="between 1 and"):
+            parse_topology(f"chain:{MAX_CUBES + 1}")
+
+
+class TestFabricConfig:
+    def test_from_spec_round_trips(self):
+        cfg = FabricConfig.from_spec("ring:3")
+        assert (cfg.topology, cfg.cubes) == ("ring", 3)
+        assert cfg.spec == "ring:3"
+
+    def test_defaults(self):
+        cfg = FabricConfig()
+        assert cfg.cubes == 1
+        assert cfg.hop_latency == 6
+        assert cfg.hop_energy_pj == 48.0
+        assert isinstance(cfg.hmc, HMCConfig)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            FabricConfig(topology="mesh")
+        with pytest.raises(ValueError, match="between 1 and"):
+            FabricConfig(cubes=0)
+        with pytest.raises(ValueError, match="hop_latency"):
+            FabricConfig(hop_latency=-1)
+
+    def test_with_hmc(self):
+        small = HMCConfig(vaults=4, banks_per_vault=4)
+        cfg = FabricConfig.from_spec("chain:2").with_hmc(small)
+        assert cfg.hmc.vaults == 4
+        assert cfg.cubes == 2
+
+
+class TestRouting:
+    def test_chain_edges_and_hops(self):
+        t = Topology(FabricConfig.from_spec("chain:4"))
+        assert t.edges == [(0, 1), (1, 2), (2, 3)]
+        assert t.host_hops == [1, 2, 3, 4]
+
+    def test_chain_next_hop_walks_the_chain(self):
+        t = Topology(FabricConfig.from_spec("chain:4"))
+        assert t.next_hop[0][3] == 1
+        assert t.next_hop[1][3] == 2
+        assert t.next_hop[3][0] == 2
+        assert t.next_hop[2][2] == 2  # already home
+
+    def test_ring_takes_shorter_direction(self):
+        t = Topology(FabricConfig.from_spec("ring:5"))
+        assert (0, 4) in t.edges
+        assert t.next_hop[0][4] == 4  # one hop backwards, not four forward
+        assert t.next_hop[0][2] == 1
+        assert t.host_hops == [1, 2, 3, 3, 2]
+
+    def test_ring_of_two_has_single_edge(self):
+        t = Topology(FabricConfig.from_spec("ring:2"))
+        assert t.edges == [(0, 1)]
+
+    def test_star_has_no_intercube_edges(self):
+        t = Topology(FabricConfig.from_spec("star:6"))
+        assert t.edges == []
+        assert t.host_hops == [1] * 6
+        for c in range(6):
+            assert t.entry_cube(c) == c
+
+    def test_chain_entry_is_cube_zero(self):
+        t = Topology(FabricConfig.from_spec("chain:4"))
+        for c in range(4):
+            assert t.entry_cube(c) == 0
+
+    def test_path_length_symmetric(self):
+        # star cubes have no inter-cube edges, so only chain/ring route
+        # cube-to-cube paths
+        for spec in ("chain:5", "ring:6"):
+            t = Topology(FabricConfig.from_spec(spec))
+            for a in range(t.cubes):
+                for b in range(t.cubes):
+                    assert t.path_length(a, b) == t.path_length(b, a)
+
+    def test_star_routes_only_self_paths(self):
+        t = Topology(FabricConfig.from_spec("star:4"))
+        for c in range(4):
+            assert t.path_length(c, c) == 0
+        with pytest.raises(RuntimeError, match="routing loop"):
+            t.path_length(0, 1)
+
+    def test_single_cube_degenerates(self):
+        for name in TOPOLOGIES:
+            t = Topology(FabricConfig.from_spec(f"{name}:1"))
+            assert t.edges == []
+            assert t.host_hops == [1]
+
+    def test_describe(self):
+        d = Topology(FabricConfig.from_spec("ring:3")).describe()
+        assert d["topology"] == "ring"
+        assert d["cubes"] == 3
+        assert d["host_hops"] == [1, 2, 2]

@@ -87,6 +87,39 @@ class TestSerialLink:
         # Table I: 16 lanes x 12.5 Gbps at 3 GHz -> ~8.33 B/cycle
         assert cfg.link_bytes_per_cycle == pytest.approx(8.333, rel=1e-3)
 
+    def test_reset_statistics_zeroes_traffic(self):
+        l = SerialLink(0, 8.0, 0, 16)
+        l.request.send(0, 80)
+        l.response.send(0, 80)
+        l.reset_statistics()
+        assert l.total_flits == 0
+        assert l.total_busy_cycles == 0
+        assert l.request.packets == 0 and l.request.bytes_sent == 0
+
+    def test_reset_statistics_zeroes_retry_counters(self):
+        """Warmup-boundary regression: a reset must also clear the attached
+        fault/retry counters, or replays folded into pre-warmup summaries
+        get double-counted in the post-warmup ones."""
+        from repro.faults import LinkFaultConfig
+
+        l = SerialLink(0, 8.0, 0, 16, LinkFaultConfig(drop_prob=0.9, seed=7))
+        for _ in range(50):
+            l.request.send(0, 80)
+        before = l.fault_counters()
+        assert before["replays"] > 0
+        l.reset_statistics()
+        after = l.fault_counters()
+        assert after["replays"] == 0
+        assert after["crc_errors"] == 0
+        assert after["drops"] == 0
+        assert after["retrains"] == 0
+        assert after["replayed_flits"] == 0
+        # the injector RNG stream is simulation state, not a statistic:
+        # traffic after the reset still draws the continuing error sequence
+        for _ in range(50):
+            l.request.send(0, 80)
+        assert l.fault_counters()["replays"] > 0
+
 
 class TestCrossbar:
     def test_fixed_latency(self):
