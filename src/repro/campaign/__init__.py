@@ -29,6 +29,7 @@ from repro.campaign.executor import (
     CampaignResult,
     execute_cell,
     matrix_digest,
+    retry_delay,
     run_campaign,
     summarize,
 )
@@ -38,7 +39,9 @@ from repro.campaign.manifest import (
     STATUS_OK,
     STATUS_TIMEOUT,
     CellRecord,
+    ClaimRecord,
     Manifest,
+    ManifestScan,
 )
 from repro.campaign.progress import CampaignProgress
 from repro.campaign.spec import Cell, fabric_grid_cells, grid_cells
@@ -46,11 +49,13 @@ from repro.campaign.spec import Cell, fabric_grid_cells, grid_cells
 __all__ = [
     "Cell",
     "CellRecord",
+    "ClaimRecord",
     "CampaignError",
     "CampaignOptions",
     "CampaignProgress",
     "CampaignResult",
     "Manifest",
+    "ManifestScan",
     "MANIFEST_VERSION",
     "STATUS_OK",
     "STATUS_ERROR",
@@ -59,6 +64,7 @@ __all__ = [
     "fabric_grid_cells",
     "grid_cells",
     "matrix_digest",
+    "retry_delay",
     "run_campaign",
     "summarize",
 ]

@@ -64,6 +64,35 @@ class CampaignError(RuntimeError):
     """Raised by :meth:`CampaignResult.raise_on_failure`."""
 
 
+#: ceiling on any single retry delay, however deep the attempt count
+MAX_RETRY_DELAY = 30.0
+
+
+def retry_delay(
+    cell_id: str, attempt: int, base: float, cap: float = MAX_RETRY_DELAY
+) -> float:
+    """Deterministic full-jitter backoff for one (cell, attempt).
+
+    Classic exponential backoff retries every victim of a simultaneous
+    failure (say, a worker host dying with eight cells in flight) at the
+    same instant, stampeding whatever resource just recovered.  Full jitter
+    draws uniformly from ``[0, base * 2**(attempt-1)]`` (capped) instead —
+    and seeding the draw from ``(cell_id, attempt)`` keeps the schedule
+    reproducible: the same cell retries at the same offsets in every run,
+    while distinct cells de-synchronize.
+    """
+    import hashlib
+    import random
+
+    span = min(cap, base * (2 ** (max(attempt, 1) - 1)))
+    if span <= 0.0:
+        return 0.0
+    seed = int.from_bytes(
+        hashlib.sha256(f"{cell_id}#{attempt}".encode()).digest()[:8], "big"
+    )
+    return random.Random(seed).uniform(0.0, span)
+
+
 def summarize(result: SimulationResult) -> dict:
     """Project a result onto the picklable persisted-summary fields."""
     return {f: getattr(result, f) for f in _CACHED_FIELDS}
@@ -582,7 +611,9 @@ class _Driver:
                             self.progress.retry(
                                 cell, attempt, f"{type(exc).__name__}: {exc}"
                             )
-                            time.sleep(self.opts.backoff * (2 ** (attempt - 1)))
+                            time.sleep(
+                                retry_delay(cell.cell_id, attempt, self.opts.backoff)
+                            )
                             attempt += 1
                             continue
                         self.record(
@@ -692,7 +723,9 @@ class _Driver:
                                 retries,
                                 (
                                     time.monotonic()
-                                    + opts.backoff * (2 ** (attempt - 1)),
+                                    + retry_delay(
+                                        cell.cell_id, attempt, opts.backoff
+                                    ),
                                     tiebreak,
                                     cell,
                                     attempt + 1,

@@ -19,13 +19,35 @@ readers ignore keys they do not understand.
 A header with an unknown version invalidates the whole file (it is rewritten
 fresh rather than mixing incompatible records); unreadable lines are skipped,
 so a record truncated by a crash costs one cell, not the campaign.
+
+Work-stealing records
+---------------------
+``repro serve`` extends the same file into a multi-writer, lease-based work
+queue.  Two additional record kinds interleave with terminal cell records::
+
+    {"kind": "claim", "cell_id": "...", "worker": "s0", "gen": 2,
+     "clock": 17, "lease": 41, "spec": {...}}
+    {"kind": "tick", "worker": "s0", "clock": 18}
+
+A *claim* announces that one scheduler generation owns a cell until the
+logical clock passes ``lease``; *ticks* are scheduler heartbeats that
+advance the clock.  The clock is logical — the max ``clock`` stamped on any
+claim/tick — so lease expiry is driven by surviving schedulers making
+progress, never by wall-clock skew between writers.  A claim whose owner
+died (no renewals) expires after ``lease - clock`` ticks of the survivors
+and the cell is stolen and re-run; ``spec`` carries enough of the cell to
+rebuild it in a process that never saw the original submission.
+
+Terminal records stay the authoritative exactly-once merge: claims and
+ticks are invisible to :meth:`Manifest.records`, so every pre-serve reader
+(resume, monitors, the HTML report) sees exactly the layout it always did.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -35,6 +57,11 @@ MANIFEST_VERSION = 1
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+
+#: non-terminal record kinds (work-stealing queue overlay)
+KIND_HEADER = "header"
+KIND_CLAIM = "claim"
+KIND_TICK = "tick"
 
 
 @dataclass
@@ -63,6 +90,55 @@ class CellRecord:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+
+@dataclass(frozen=True)
+class ClaimRecord:
+    """A lease on one cell held by one scheduler generation.
+
+    ``gen`` is the worker/scheduler generation id (monotonic across
+    re-attaches to the same manifest: a restarted scheduler claims with a
+    higher generation, so duplicate claims resolve deterministically —
+    higher generation wins, then higher clock, then worker name).  ``clock``
+    is the logical timestamp at claim time and ``lease`` the logical expiry;
+    ``spec`` is an optional portable cell description so a stealing peer can
+    rebuild the cell without the original submission.
+    """
+
+    cell_id: str
+    worker: str
+    gen: int
+    clock: int
+    lease: int
+    spec: Optional[dict] = None
+
+    def beats(self, other: Optional["ClaimRecord"]) -> bool:
+        """Claim-conflict resolution: higher (gen, clock, worker) wins."""
+        if other is None:
+            return True
+        return (self.gen, self.clock, self.worker) > (
+            other.gen,
+            other.clock,
+            other.worker,
+        )
+
+
+@dataclass
+class ManifestScan:
+    """Full parse of a manifest as a work queue: terminal records, the
+    winning claim per cell, and the logical-clock high-water mark."""
+
+    records: Dict[str, CellRecord] = field(default_factory=dict)
+    claims: Dict[str, ClaimRecord] = field(default_factory=dict)
+    clock: int = 0
+    max_gen: int = 0
+
+    def expired(self, cell_id: str) -> bool:
+        """True when the cell is claimed, unfinished, and past its lease."""
+        claim = self.claims.get(cell_id)
+        if claim is None or cell_id in self.records:
+            return False
+        return claim.lease < self.clock
 
 
 class Manifest:
@@ -97,12 +173,14 @@ class Manifest:
                 continue  # torn write (crash mid-append): skip this cell
             if not isinstance(raw, dict):
                 continue
-            if raw.get("kind") == "header":
+            if raw.get("kind") == KIND_HEADER:
                 if raw.get("version") != MANIFEST_VERSION:
                     return {}  # incompatible manifest: treat as empty
                 continue
             if i == 0:
                 return {}  # headerless file predates the manifest format
+            if "kind" in raw:
+                continue  # claim/tick/future overlay records: not terminal
             try:
                 rec = CellRecord(
                     cell_id=raw["cell_id"],
@@ -120,6 +198,89 @@ class Manifest:
             except (KeyError, TypeError, ValueError):
                 continue
             out[rec.cell_id] = rec
+        return out
+
+    def scan(self) -> ManifestScan:
+        """Parse the manifest as a work queue: terminal records, winning
+        claims, and the logical-clock high-water mark.
+
+        Torn lines (a crash mid-append — including a torn *claim* as the
+        very last record) are skipped exactly as in :meth:`records`; a
+        duplicate claim for one cell resolves by
+        :meth:`ClaimRecord.beats` (higher generation wins).  Returns an
+        empty scan for a missing or version-incompatible file.
+        """
+        out = ManifestScan()
+        if not self.path.exists():
+            return out
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return out
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write: costs one record, not the queue
+            if not isinstance(raw, dict):
+                continue
+            kind = raw.get("kind")
+            if kind == KIND_HEADER:
+                if raw.get("version") != MANIFEST_VERSION:
+                    return ManifestScan()
+                continue
+            if i == 0:
+                return ManifestScan()  # headerless: predates the format
+            if kind == KIND_TICK:
+                try:
+                    out.clock = max(out.clock, int(raw["clock"]))
+                except (KeyError, TypeError, ValueError):
+                    pass
+                try:
+                    if "gen" in raw:
+                        out.max_gen = max(out.max_gen, int(raw["gen"]))
+                except (TypeError, ValueError):
+                    pass
+                continue
+            if kind == KIND_CLAIM:
+                try:
+                    claim = ClaimRecord(
+                        cell_id=raw["cell_id"],
+                        worker=str(raw.get("worker", "?")),
+                        gen=int(raw["gen"]),
+                        clock=int(raw["clock"]),
+                        lease=int(raw["lease"]),
+                        spec=raw.get("spec"),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+                out.clock = max(out.clock, claim.clock)
+                out.max_gen = max(out.max_gen, claim.gen)
+                if claim.beats(out.claims.get(claim.cell_id)):
+                    out.claims[claim.cell_id] = claim
+                continue
+            if kind is not None:
+                continue  # unknown overlay kind from a newer writer
+            try:
+                rec = CellRecord(
+                    cell_id=raw["cell_id"],
+                    workload=raw["workload"],
+                    scheme=raw["scheme"],
+                    status=raw["status"],
+                    attempts=int(raw.get("attempts", 1)),
+                    elapsed=float(raw.get("elapsed", 0.0)),
+                    summary=raw.get("summary"),
+                    error=raw.get("error"),
+                    cached=bool(raw.get("cached", False)),
+                    diagnosis=raw.get("diagnosis"),
+                    report=raw.get("report"),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            out.records[rec.cell_id] = rec
         return out
 
     def header(self) -> Optional[dict]:
@@ -159,10 +320,64 @@ class Manifest:
 
     def append(self, record: CellRecord) -> None:
         """Durably append one terminal cell record."""
+        payload = {k: v for k, v in asdict(record).items() if v is not None}
+        self._append_line(payload, durable=True)
+
+    def append_claim(self, claim: ClaimRecord) -> None:
+        """Durably append one work-queue claim (or lease renewal)."""
+        payload: dict = {
+            "kind": KIND_CLAIM,
+            "cell_id": claim.cell_id,
+            "worker": claim.worker,
+            "gen": claim.gen,
+            "clock": claim.clock,
+            "lease": claim.lease,
+        }
+        if claim.spec is not None:
+            payload["spec"] = claim.spec
+        self._append_line(payload, durable=True)
+
+    def append_tick(
+        self, worker: str, clock: int, gen: Optional[int] = None
+    ) -> None:
+        """Append one scheduler heartbeat advancing the logical clock.
+
+        Ticks are frequent and individually disposable (the clock is a max
+        over all of them), so they are flushed but not fsynced.  A tick may
+        carry the writer's generation (the attach-time announcement): that
+        publishes the generation even before the scheduler's first claim,
+        so a later attach cannot hand the same generation out again.
+        """
+        payload: dict = {"kind": KIND_TICK, "worker": worker, "clock": clock}
+        if gen is not None:
+            payload["gen"] = gen
+        self._append_line(payload, durable=gen is not None)
+
+    def _append_line(self, payload: dict, durable: bool) -> None:
+        """One-line O_APPEND write shared by every record kind.
+
+        Multi-writer safe for the short lines the queue overlay emits:
+        append-mode writes of a single buffered line land atomically on
+        local filesystems, and readers tolerate torn lines regardless.
+        A torn *trailing* line (a peer crashed mid-append) is healed with a
+        newline first, so the tear stays confined to the crashed writer's
+        record instead of corrupting ours too.  Raises ``OSError`` (e.g.
+        ENOSPC) to the caller — the serve layer retries terminal records
+        until they land.
+        """
         if not self.path.exists():
             self.reset()
-        payload = {k: v for k, v in asdict(record).items() if v is not None}
-        with open(self.path, "a") as fh:
-            fh.write(json.dumps(payload) + "\n")
+        with open(self.path, "ab") as fh:
+            prefix = b""
+            try:
+                if fh.tell() > 0:
+                    with open(self.path, "rb") as tail:
+                        tail.seek(-1, os.SEEK_END)
+                        if tail.read(1) != b"\n":
+                            prefix = b"\n"
+            except OSError:
+                pass
+            fh.write(prefix + json.dumps(payload).encode() + b"\n")
             fh.flush()
-            os.fsync(fh.fileno())
+            if durable:
+                os.fsync(fh.fileno())

@@ -7,6 +7,9 @@ Commands
 ``profile``  run one cell under cProfile; report events/sec and hot callbacks
 ``figure``   regenerate one of the paper's figures (5-9) as a table/CSV
 ``campaign`` run a (mixes x schemes) grid sharded across worker processes
+``serve``    long-running campaign service: HTTP/JSONL submissions, admission
+             control, lease-based work stealing, graceful drain
+``submit``   send a grid to a running ``serve`` node (and optionally wait)
 ``monitor``  tail a running campaign's telemetry spools from another terminal
 ``report``   markdown figure report, or an HTML dashboard from RunReports
 ``diff``     compare two RunReport artifacts (deltas + subsystem attribution)
@@ -30,6 +33,8 @@ Examples::
     python -m repro campaign --report-dir reports --refs 2000
     python -m repro campaign --jobs 4 --watch --telemetry-port 9100
     python -m repro monitor .repro_campaign.jsonl      # from a 2nd terminal
+    python -m repro serve --manifest svc.jsonl --port 9200 --jobs 4
+    python -m repro submit --url http://127.0.0.1:9200 --mixes HM1 --wait
     python -m repro bench-trend --check
     python -m repro table 1
     python -m repro trace lbm --refs 10000
@@ -557,6 +562,95 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived campaign service (see docs/API.md, Service mode).
+
+    Accepts simulation jobs over HTTP and newline-delimited JSON on one
+    port, multiplexes them onto a persistent worker pool, and records
+    terminal cells in the manifest exactly like ``repro campaign`` —
+    ``repro monitor <manifest>`` works unchanged against a serving node.
+    SIGTERM drains: in-flight cells finish, the pending queue checkpoints
+    to ``<manifest>.checkpoint.jsonl``, and a restart with ``--resume``
+    (or a peer sharing the manifest) picks the work back up.
+    """
+    from repro.serve import ServeConfig, run_serve
+
+    cfg = ServeConfig(
+        manifest=args.manifest,
+        jobs=args.jobs,
+        host=args.host,
+        port=args.port,
+        resume=args.resume,
+        retries=args.retries,
+        timeout=args.timeout,
+        quick_cap=args.quick_cap,
+        bulk_cap=args.bulk_cap,
+        lease_ticks=args.lease_ticks,
+        tick_interval=args.tick_interval,
+        worker_name=args.name,
+        use_cache=not args.no_cache,
+        exit_when_complete=args.exit_when_complete,
+    )
+    return run_serve(cfg)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a grid to a running service; optionally wait for results."""
+    from urllib.parse import urlparse
+
+    from repro.serve import DrainingError, ServeClient, Shed
+
+    parsed = urlparse(args.url if "//" in args.url else f"http://{args.url}")
+    client = ServeClient(
+        parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=args.timeout
+    )
+    mixes = _parse_mixes(args.mixes)
+    schemes = _parse_schemes(args.schemes)
+    grid: dict = {
+        "mixes": mixes,
+        "schemes": schemes,
+        "refs": args.refs,
+        "seed": args.seed,
+    }
+    if args.topology:
+        grid["topologies"] = [
+            t.strip() for t in args.topology.split(",") if t.strip()
+        ]
+    if getattr(args, "ber", 0.0):
+        grid["ber"] = args.ber
+    if getattr(args, "drop", 0.0):
+        grid["drop"] = args.drop
+    try:
+        out = client.submit(
+            grid=grid, lane=args.lane, deadline_s=args.deadline
+        )
+    except Shed as exc:
+        print(f"submit: shed by admission control; retry in "
+              f"{exc.retry_after:g}s", file=sys.stderr)
+        return 75  # EX_TEMPFAIL
+    except DrainingError:
+        print("submit: service is draining", file=sys.stderr)
+        return 75
+    print(f"job {out['job']}: {len(out['cells'])} cells "
+          f"({out['lane']} lane) -> {args.url}")
+    if not args.wait:
+        return 0
+    info = client.wait(out["job"], timeout=args.wait_timeout)
+    bad = [
+        (cid, entry)
+        for cid, entry in info.get("cells", {}).items()
+        if entry.get("status") != "ok"
+    ]
+    print(f"job {out['job']}: {info['status']} "
+          f"({info['done']}/{info['total']} cells, {len(bad)} failed)")
+    if args.json:
+        print(json.dumps(info))
+    for cid, entry in bad:
+        print(f"  FAILED {cid}: {entry.get('status')} "
+              f"({str(entry.get('error', ''))[:120]})")
+    return 1 if bad or info["status"] != "done" else 0
+
+
 def cmd_bench_trend(args: argparse.Namespace) -> int:
     """Report benchmark trends from BENCH_history.jsonl; flag regressions
     of the newest run against the rolling median of its predecessors."""
@@ -992,6 +1086,89 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop monitoring after this long even if the "
                        "campaign is still running")
     p_mon.set_defaults(fn=cmd_monitor)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the campaign service: submit jobs over HTTP/JSONL, "
+        "work-stealing recovery, graceful drain",
+    )
+    p_srv.add_argument(
+        "--manifest", default=".repro_serve.jsonl",
+        help="shared manifest/work-queue file (peers attach to the same "
+        "path to steal work)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=9200,
+        help="listen port (0 picks a free port; default 9200)",
+    )
+    p_srv.add_argument(
+        "--jobs", type=int, default=max(1, os.cpu_count() or 1),
+        help="worker processes (default: CPU count)",
+    )
+    p_srv.add_argument(
+        "--resume", action="store_true",
+        help="attach to an existing manifest (and its drain checkpoint) "
+        "instead of starting fresh",
+    )
+    p_srv.add_argument("--retries", type=int, default=1,
+                       help="retries for raising cells (crashes always requeue)")
+    p_srv.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt wall-clock budget in seconds")
+    p_srv.add_argument("--quick-cap", dest="quick_cap", type=int, default=64,
+                       help="max queued cells in the quick lane (default 64)")
+    p_srv.add_argument("--bulk-cap", dest="bulk_cap", type=int, default=256,
+                       help="max queued cells in the bulk lane (default 256)")
+    p_srv.add_argument("--lease-ticks", dest="lease_ticks", type=int,
+                       default=24,
+                       help="logical-clock ticks before an orphaned claim "
+                       "is stealable (default 24)")
+    p_srv.add_argument("--tick-interval", dest="tick_interval", type=float,
+                       default=0.25,
+                       help="seconds between scheduler ticks (default 0.25)")
+    p_srv.add_argument("--name", default=None,
+                       help="work-queue worker name (default s<pid>)")
+    p_srv.add_argument("--no-cache", dest="no_cache", action="store_true",
+                       help="bypass the shared ResultCache")
+    p_srv.add_argument(
+        "--exit-when-complete", dest="exit_when_complete",
+        action="store_true",
+        help="fleet mode: exit once every claimed cell in the manifest is "
+        "terminal (used by headless peers)",
+    )
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a (mixes x schemes) grid to a running `repro serve`",
+    )
+    p_sub.add_argument("--url", default="http://127.0.0.1:9200",
+                       help="service address (default http://127.0.0.1:9200)")
+    p_sub.add_argument("--mixes", help="comma-separated subset (default: all)")
+    p_sub.add_argument("--schemes",
+                       help="comma-separated schemes (default: paper schemes)")
+    p_sub.add_argument("--refs", type=int, default=4000)
+    p_sub.add_argument("--seed", type=int, default=1)
+    p_sub.add_argument("--topology", metavar="SPECS",
+                       help="comma-separated fabric topologies for a "
+                       "multi-cube scenario grid")
+    p_sub.add_argument("--ber", type=float, default=0.0)
+    p_sub.add_argument("--drop", type=float, default=0.0)
+    p_sub.add_argument("--lane", choices=["quick", "bulk"], default=None,
+                       help="priority lane override (default: inferred)")
+    p_sub.add_argument("--deadline", type=float, default=None,
+                       help="seconds after which still-queued cells of this "
+                       "job are abandoned")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job is terminal; exit non-zero "
+                       "on any failed cell")
+    p_sub.add_argument("--wait-timeout", dest="wait_timeout", type=float,
+                       default=600.0)
+    p_sub.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request HTTP timeout")
+    p_sub.add_argument("--json", action="store_true",
+                       help="print the final job state as JSON")
+    p_sub.set_defaults(fn=cmd_submit)
 
     p_bt = sub.add_parser(
         "bench-trend",

@@ -126,6 +126,67 @@ def render_metrics(snapshot: dict) -> str:
             f"Terminal cells counted as '{key}' in the manifest.",
         ).add(value)
 
+    serve = snapshot.get("serve") or {}
+    if serve:
+        fam(
+            "repro_serve_draining",
+            "1 while the service is draining (refusing submissions).",
+        ).add(1 if serve.get("draining") else 0)
+        fam(
+            "repro_serve_inflight_cells",
+            "Cells currently executing in the service's worker pool.",
+        ).add(serve.get("inflight", 0))
+        q_fam = fam(
+            "repro_serve_queued_cells",
+            "Admitted cells waiting for a worker, per priority lane.",
+        )
+        for lane, value in sorted((serve.get("pending") or {}).items()):
+            q_fam.add(value, {"lane": str(lane)})
+        j_fam = fam(
+            "repro_serve_jobs",
+            "Service jobs by lifecycle state.",
+        )
+        for state, value in sorted((serve.get("jobs") or {}).items()):
+            j_fam.add(value, {"state": str(state)})
+        admission = serve.get("admission") or {}
+        fam(
+            "repro_serve_shed_total",
+            "Submissions shed with 429 since the service started.",
+        ).add(admission.get("shed_total", 0))
+        fam(
+            "repro_serve_admitted_cells_total",
+            "Cells admitted past load shedding since the service started.",
+        ).add(admission.get("admitted_cells", 0))
+        fam(
+            "repro_serve_cell_seconds_ema",
+            "Smoothed per-cell service time used for retry_after hints.",
+        ).add(admission.get("cell_seconds"))
+        fam(
+            "repro_serve_stolen_cells_total",
+            "Orphaned cells this node stole after their owner's lease expired.",
+        ).add(serve.get("stolen_total", 0))
+        fam(
+            "repro_serve_quarantined_cells_total",
+            "Diagnosed-terminal cells quarantined instead of retried.",
+        ).add(serve.get("quarantined_total", 0))
+        fam(
+            "repro_serve_completed_cells_total",
+            "Cells this node executed to a terminal state (cache hits excluded).",
+        ).add(serve.get("completed_cells", 0))
+        fam(
+            "repro_serve_unrecorded_cells",
+            "Finished cells whose manifest append is still failing (ENOSPC).",
+        ).add(serve.get("unrecorded", 0))
+        fam(
+            "repro_serve_logical_clock",
+            "This node's work-stealing logical clock.",
+        ).add(serve.get("clock", 0))
+        if serve.get("admission_p99_seconds") is not None:
+            fam(
+                "repro_serve_admission_p99_seconds",
+                "99th percentile submit handling latency on this node.",
+            ).add(serve["admission_p99_seconds"])
+
     workers = snapshot.get("workers") or []
     w_age = fam(
         "repro_worker_heartbeat_age_seconds",

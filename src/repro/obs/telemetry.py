@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import threading
 import time
 import uuid
@@ -225,21 +226,31 @@ class JsonlTailer:
     * **record appended mid-read** — only complete newline-terminated lines
       are consumed, so a concurrent append is picked up whole next poll;
     * **rotation / truncation** — an inode change or a shrink below the
-      current offset resets the tailer to offset zero of the new file.
+      current offset resets the tailer to offset zero of the new file.  A
+      truncate-and-rewrite that regrows *past* the current offset between
+      polls (same inode, no observable shrink) is caught by the head
+      anchor: the first bytes of the file are remembered and re-checked, so
+      a replaced head resets the tailer instead of yielding bytes from a
+      stale offset in the middle of unrelated content.
 
     Unparseable *complete* lines (torn by a crash mid-file) are skipped, as
     the manifest reader does.
     """
+
+    #: bytes of the file head remembered to detect truncate-and-rewrite
+    ANCHOR_BYTES = 64
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._pos = 0
         self._buf = b""
         self._sig: Optional[Tuple[int, int]] = None  # (st_dev, st_ino)
+        self._anchor = b""  # head of the file identity we are tailing
 
     def _reset(self) -> None:
         self._pos = 0
         self._buf = b""
+        self._anchor = b""
 
     def poll(self) -> List[dict]:
         try:
@@ -256,10 +267,18 @@ class JsonlTailer:
             return []
         try:
             with open(self.path, "rb") as fh:
+                if self._anchor and fh.read(len(self._anchor)) != self._anchor:
+                    # Same inode, size >= our offset, different head: the
+                    # file was truncated and rewritten between polls.
+                    # Restart from the new head rather than buffering
+                    # garbage from the stale offset.
+                    self._reset()
                 fh.seek(self._pos)
                 chunk = fh.read()
         except OSError:
             return []
+        if self._pos == 0:
+            self._anchor = chunk[: self.ANCHOR_BYTES]
         self._pos += len(chunk)
         data = self._buf + chunk
         lines = data.split(b"\n")
@@ -351,6 +370,7 @@ class WorkerTelemetry:
         self._last_wall = 0.0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._exited = False
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "WorkerTelemetry":
@@ -361,12 +381,26 @@ class WorkerTelemetry:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def write_exit(self, reason: str) -> None:
+        """Durably write the terminal exit record, at most once.
+
+        ``reason`` lands in the record so monitors can distinguish a clean
+        shutdown from a termination signal from a worker that simply went
+        silent (hung / SIGKILLed: no exit record at all).
+        """
+        if self._exited:
+            return
+        self._exited = True
+        rec = self._record("exit")
+        rec["reason"] = reason
+        self.spool.append(rec, durable=True)
+
+    def stop(self, reason: str = "clean") -> None:
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
-        self.spool.append(self._record("exit"), durable=True)
+        self.write_exit(reason)
         self.spool.close()
 
     def _loop(self) -> None:
@@ -466,6 +500,59 @@ class WorkerTelemetry:
 # -- module slot the cell runner publishes through ---------------------
 
 _worker: Optional[WorkerTelemetry] = None
+_prev_sigterm: Optional[Any] = None
+_sigterm_installed = False
+
+
+def _sigterm_exit_record(signum: int, frame: Any) -> None:
+    """SIGTERM handler: durably record *why* this worker went quiet.
+
+    Without this only a clean interpreter exit writes the terminal spool
+    record, so ``--watch`` cannot tell "terminated" from "hung".  The
+    record is written here, then the previous disposition is restored and
+    the signal re-delivered so termination semantics are unchanged.
+    """
+    w = _worker
+    if w is not None:
+        try:
+            w.write_exit("sigterm")
+            w.spool.close()
+        except Exception:
+            pass
+    prev = _prev_sigterm
+    try:
+        signal.signal(
+            signal.SIGTERM, prev if prev is not None else signal.SIG_DFL
+        )
+    except (ValueError, TypeError, OSError):  # pragma: no cover
+        os._exit(143)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_sigterm_handler() -> None:
+    global _prev_sigterm, _sigterm_installed
+    if _sigterm_installed:
+        return
+    try:
+        _prev_sigterm = signal.signal(signal.SIGTERM, _sigterm_exit_record)
+        _sigterm_installed = True
+    except ValueError:
+        pass  # not the main thread: clean exits still get their record
+
+
+def _uninstall_sigterm_handler() -> None:
+    global _prev_sigterm, _sigterm_installed
+    if not _sigterm_installed:
+        return
+    try:
+        signal.signal(
+            signal.SIGTERM,
+            _prev_sigterm if _prev_sigterm is not None else signal.SIG_DFL,
+        )
+    except ValueError:  # pragma: no cover - symmetric with install
+        pass
+    _prev_sigterm = None
+    _sigterm_installed = False
 
 
 def publish_system(system: Optional[Any]) -> None:
@@ -494,6 +581,7 @@ def activate_worker(
     deactivate_worker()
     spool = TelemetrySpool(spool_path(spool_dir, worker), worker, max_bytes)
     _worker = WorkerTelemetry(spool, interval).start()
+    _install_sigterm_handler()
     return _worker
 
 
@@ -501,6 +589,7 @@ def deactivate_worker() -> None:
     global _worker
     w = _worker
     _worker = None
+    _uninstall_sigterm_handler()
     if w is not None:
         w.stop()
 
@@ -620,7 +709,15 @@ class WorkerView:
             "cells": rec.get("cells", {}),
             "rss": rec.get("rss", 0),
         }
-        for key in ("cell", "cycle", "events", "eps", "counters", "gauges"):
+        for key in (
+            "cell",
+            "cycle",
+            "events",
+            "eps",
+            "counters",
+            "gauges",
+            "reason",
+        ):
             if key in rec:
                 out[key] = rec[key]
         stall = self.stall_reason(now, stale_after)

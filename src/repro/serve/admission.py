@@ -1,0 +1,146 @@
+"""Admission control: bounded lanes, load shedding, and retry hints.
+
+The service never queues unboundedly.  Each *lane* has a fixed budget of
+queued cells; a submission that would overflow its lane is shed with an HTTP
+429 plus a ``retry_after`` hint sized from the measured per-cell service
+time — the client backs off for roughly one drain of the current backlog
+rather than a blind constant.
+
+Two lanes ship by default:
+
+* ``quick`` — cheap probes (small single-cube cells).  Dispatched with
+  strict priority so an interactive digest check is never starved behind a
+  fabric grid.
+* ``bulk``  — everything else: fabric topologies, large ``refs`` counts,
+  fault-injection sweeps.
+
+Starvation of ``bulk`` is bounded by lane budgets, not by time-slicing:
+``quick`` admits at most ``quick_cap`` queued cells, so bulk progress stalls
+only while a real interactive burst is in flight.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+LANE_QUICK = "quick"
+LANE_BULK = "bulk"
+LANES = (LANE_QUICK, LANE_BULK)
+
+#: refs/core at or above which a single-cube cell counts as bulk work
+BULK_REFS_THRESHOLD = 20_000
+
+#: bounds on the retry hint handed to shed clients
+MIN_RETRY_AFTER = 0.5
+MAX_RETRY_AFTER = 60.0
+
+#: assumed per-cell seconds before the first completion calibrates the EMA
+DEFAULT_CELL_SECONDS = 2.0
+
+
+def infer_lane(spec: dict) -> str:
+    """Classify one wire spec into a lane (client override wins upstream)."""
+    if spec.get("topology"):
+        return LANE_BULK
+    try:
+        refs = int(spec.get("refs", 0))
+    except (TypeError, ValueError):
+        return LANE_BULK
+    if refs >= BULK_REFS_THRESHOLD:
+        return LANE_BULK
+    if spec.get("ber") or spec.get("drop"):
+        return LANE_BULK
+    return LANE_QUICK
+
+
+@dataclass
+class AdmissionController:
+    """Bounded per-lane budgets plus a service-time EMA for retry hints."""
+
+    quick_cap: int = 64
+    bulk_cap: int = 256
+    jobs: int = 1  # pool width, for backlog-drain estimates
+    queued: Dict[str, int] = field(
+        default_factory=lambda: {LANE_QUICK: 0, LANE_BULK: 0}
+    )
+    shed_total: int = 0
+    admitted_cells: int = 0
+    _ema_cell_seconds: Optional[float] = None
+
+    def cap(self, lane: str) -> int:
+        return self.quick_cap if lane == LANE_QUICK else self.bulk_cap
+
+    @property
+    def cell_seconds(self) -> float:
+        return (
+            self._ema_cell_seconds
+            if self._ema_cell_seconds is not None
+            else DEFAULT_CELL_SECONDS
+        )
+
+    # -- lifecycle of one admitted cell --------------------------------
+    def try_admit(self, lane: str, n_cells: int) -> Optional[float]:
+        """Admit ``n_cells`` into ``lane``; ``None`` on success, else the
+        ``retry_after`` seconds to hand back with the 429."""
+        if lane not in self.queued:
+            lane = LANE_BULK
+        if self.queued[lane] + n_cells > self.cap(lane):
+            self.shed_total += 1
+            return self.retry_after()
+        self.queued[lane] += n_cells
+        self.admitted_cells += n_cells
+        return None
+
+    def release(self, lane: str, n_cells: int = 1) -> None:
+        """A queued cell left the lane (dispatched, expired, or deduped)."""
+        if lane in self.queued:
+            self.queued[lane] = max(0, self.queued[lane] - n_cells)
+
+    def observe_cell_seconds(self, elapsed: float) -> None:
+        """Fold one completed cell's wall time into the service-time EMA."""
+        if elapsed <= 0:
+            return
+        if self._ema_cell_seconds is None:
+            self._ema_cell_seconds = elapsed
+        else:
+            self._ema_cell_seconds += 0.2 * (elapsed - self._ema_cell_seconds)
+
+    def retry_after(self) -> float:
+        """Seconds until the current backlog plausibly drains one slot."""
+        backlog = sum(self.queued.values())
+        est = (backlog + 1) * self.cell_seconds / max(1, self.jobs)
+        return round(min(MAX_RETRY_AFTER, max(MIN_RETRY_AFTER, est)), 2)
+
+    def snapshot(self) -> dict:
+        return {
+            "queued": dict(self.queued),
+            "caps": {LANE_QUICK: self.quick_cap, LANE_BULK: self.bulk_cap},
+            "shed_total": self.shed_total,
+            "admitted_cells": self.admitted_cells,
+            "cell_seconds": round(self.cell_seconds, 4),
+        }
+
+
+@dataclass
+class LatencyTracker:
+    """Reservoir-free admission-latency quantiles (small N, exact)."""
+
+    samples: list = field(default_factory=list)
+    max_samples: int = 10_000
+
+    def observe(self, seconds: float) -> None:
+        if len(self.samples) < self.max_samples:
+            self.samples.append(seconds)
+
+    def quantile(self, q: float) -> Optional[float]:
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[idx]
+
+
+def wall() -> float:
+    return time.monotonic()

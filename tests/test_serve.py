@@ -1,0 +1,561 @@
+"""Tests for the campaign service: admission, lifecycle, protocol, faults.
+
+Fast fake runners stand in for the simulator (the digest-parity contract
+against real simulations lives in tests/test_serve_chaos.py); these tests
+pin the service semantics: 429 + retry_after under saturation, quick-lane
+priority, dedupe across jobs, drain -> checkpoint -> resume, quarantine of
+diagnosed failures, crash/flake requeue, ENOSPC retry of terminal records,
+both wire protocols, and the degradation of health endpoints.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.promtext import parse_exposition
+from repro.serve import (
+    LANE_BULK,
+    LANE_QUICK,
+    AdmissionController,
+    DrainingError,
+    ServeClient,
+    ServeConfig,
+    ServeScheduler,
+    ServeService,
+    Shed,
+    SpecError,
+    cell_from_spec,
+    cell_to_spec,
+    checkpoint_path,
+    infer_lane,
+)
+from repro.serve.chaos import drop_connection, enospc_manifest
+from repro.serve.server import _expand_cells
+
+
+def _summary(cell):
+    return {"scheme": cell.scheme, "workload": cell.workload, "cycles": 1000}
+
+
+def ok_runner(cell, attempt):  # module-level: picklable for worker processes
+    return _summary(cell)
+
+
+def slow_runner(cell, attempt):
+    time.sleep(0.6)
+    return _summary(cell)
+
+
+def flaky_runner(cell, attempt):
+    if attempt == 1:
+        raise RuntimeError("transient flake (attempt 1)")
+    return _summary(cell)
+
+
+def crash_once_runner(cell, attempt):
+    if attempt == 1:
+        os._exit(17)  # kill the worker process abruptly, mid-cell
+    return _summary(cell)
+
+
+class _DiagnosedError(RuntimeError):
+    report = {"reason": "deadlock", "component": "vault3", "violations": 2}
+
+
+def diagnosed_runner(cell, attempt):
+    raise _DiagnosedError("integrity check failed")
+
+
+def _spec(workload="HM1", scheme="base", refs=100, seed=1, **extra):
+    spec = {"workload": workload, "scheme": scheme, "refs": refs, "seed": seed}
+    spec.update(extra)
+    return spec
+
+
+def _cfg(tmp_path, **kw):
+    kw.setdefault("jobs", 1)
+    kw.setdefault("use_cache", False)
+    kw.setdefault("telemetry", False)
+    kw.setdefault("tick_interval", 0.1)
+    return ServeConfig(manifest=str(tmp_path / "serve.jsonl"), **kw)
+
+
+async def _call(fn, *args, **kw):
+    """Run a blocking client call off the event loop thread."""
+    return await asyncio.get_running_loop().run_in_executor(
+        None, lambda: fn(*args, **kw)
+    )
+
+
+def _with_service(cfg, runner, body):
+    """Start a service, run the async body, always tear down."""
+
+    async def _main():
+        service = ServeService(cfg, runner=runner)
+        await service.start()
+        try:
+            return await body(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(_main())
+
+
+def _with_node(cfg, runner, body):
+    """Scheduler-only variant (no HTTP listener)."""
+
+    async def _main():
+        node = ServeScheduler(cfg, runner=runner)
+        await node.start()
+        try:
+            return await body(node)
+        finally:
+            await node.aclose()
+
+    return asyncio.run(_main())
+
+
+async def _wait_job(node, job_id, timeout=30.0):
+    await asyncio.wait_for(node._job_events[job_id].wait(), timeout)
+    return node.registry.jobs[job_id]
+
+
+# ----------------------------------------------------------------------
+# Admission control (unit)
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_infer_lane_thresholds(self):
+        assert infer_lane(_spec(refs=100)) == LANE_QUICK
+        assert infer_lane(_spec(refs=50_000)) == LANE_BULK
+        assert infer_lane(_spec(topology="chain:4")) == LANE_BULK
+        assert infer_lane(_spec(ber=1e-6)) == LANE_BULK
+
+    def test_caps_enforced_per_lane(self):
+        adm = AdmissionController(quick_cap=2, bulk_cap=4, jobs=1)
+        assert adm.try_admit(LANE_QUICK, 2) is None
+        verdict = adm.try_admit(LANE_QUICK, 1)
+        assert verdict is not None and verdict > 0
+        assert adm.try_admit(LANE_BULK, 4) is None  # independent budget
+        assert adm.shed_total == 1
+
+    def test_release_reopens_lane(self):
+        adm = AdmissionController(quick_cap=1, bulk_cap=1, jobs=1)
+        assert adm.try_admit(LANE_QUICK, 1) is None
+        assert adm.try_admit(LANE_QUICK, 1) is not None
+        adm.release(LANE_QUICK)
+        assert adm.try_admit(LANE_QUICK, 1) is None
+
+    def test_zero_cell_submission_always_admitted(self):
+        adm = AdmissionController(quick_cap=1, bulk_cap=1, jobs=1)
+        adm.try_admit(LANE_QUICK, 1)
+        assert adm.try_admit(LANE_QUICK, 0) is None  # fully-deduped job
+
+    def test_retry_after_scales_with_backlog_and_bounded(self):
+        adm = AdmissionController(quick_cap=10**6, bulk_cap=10**6, jobs=2)
+        adm.observe_cell_seconds(2.0)
+        small = adm.retry_after()
+        adm.try_admit(LANE_BULK, 100)
+        assert adm.retry_after() > small
+        assert 0.5 <= adm.retry_after() <= 60.0
+        adm.try_admit(LANE_BULK, 10**5)
+        assert adm.retry_after() == 60.0  # clamped
+
+
+# ----------------------------------------------------------------------
+# Cell specs (wire round-trip)
+# ----------------------------------------------------------------------
+
+
+class TestSpecs:
+    def test_roundtrip_preserves_cell_id(self):
+        cell = cell_from_spec(_spec(scheme="camps", refs=321, seed=9))
+        assert cell_from_spec(cell_to_spec(cell)).cell_id == cell.cell_id
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(SpecError):
+            cell_from_spec(_spec(workload="NOPE"))
+        with pytest.raises(SpecError):
+            cell_from_spec(_spec(scheme="NOPE"))
+        with pytest.raises(SpecError):
+            cell_from_spec(_spec(topology="ring-of-doom"))
+        with pytest.raises(SpecError):
+            cell_from_spec(_spec(refs=-5))
+        with pytest.raises(SpecError):
+            cell_from_spec("not an object")
+
+    def test_grid_shorthand_expands_workload_major(self):
+        specs = _expand_cells(
+            {"grid": {"mixes": ["HM1", "LM1"], "schemes": ["base", "camps"],
+                      "refs": 128, "seed": 3}}
+        )
+        assert [(s["workload"], s["scheme"]) for s in specs] == [
+            ("HM1", "base"), ("HM1", "camps"),
+            ("LM1", "base"), ("LM1", "camps"),
+        ]
+        assert all(s["refs"] == 128 and s["seed"] == 3 for s in specs)
+
+    def test_grid_topologies_axis(self):
+        specs = _expand_cells(
+            {"grid": {"mixes": ["HM1"], "schemes": ["base"],
+                      "topologies": ["chain:2", "star:3"]}}
+        )
+        assert [s["topology"] for s in specs] == ["chain:2", "star:3"]
+
+    def test_empty_submission_rejected(self):
+        with pytest.raises(SpecError):
+            _expand_cells({})
+
+
+# ----------------------------------------------------------------------
+# Service lifecycle over HTTP
+# ----------------------------------------------------------------------
+
+
+class TestServiceHTTP:
+    def test_submit_completes_and_records(self, tmp_path):
+        cfg = _cfg(tmp_path, jobs=2)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(
+                client.submit, cells=[_spec(seed=1), _spec(seed=2)]
+            )
+            assert out["job"]
+            info = await _call(client.wait, out["job"], 30.0, 0.05)
+            assert info["status"] == "done"
+            assert info["done"] == 2
+            assert all(c["status"] == "ok" for c in info["cells"].values())
+            status, _ = await _call(client.healthz)
+            assert status == 200
+            return service.node
+
+        node = _with_service(cfg, ok_runner, body)
+        records = __import__(
+            "repro.campaign.manifest", fromlist=["Manifest"]
+        ).Manifest(cfg.manifest).records()
+        assert len(records) == 2
+        assert all(r.ok for r in records.values())
+        assert node.completed_cells == 2
+
+    def test_shared_cell_deduped_across_jobs(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            a = await _call(client.submit, cells=[_spec(seed=5)])
+            b = await _call(client.submit, cells=[_spec(seed=5)])
+            for job in (a["job"], b["job"]):
+                info = await _call(client.wait, job, 30.0, 0.05)
+                assert info["status"] == "done"
+            return service.node.completed_cells
+
+        assert _with_service(cfg, ok_runner, body) == 1  # one execution
+
+    def test_saturation_sheds_429_with_retry_after(self, tmp_path):
+        cfg = _cfg(tmp_path, quick_cap=1, bulk_cap=1)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            # jobs=1 and slow cells: the first dispatches, the second fills
+            # the one-slot quick lane, the third must be shed
+            await _call(client.submit, cells=[_spec(seed=1)])
+            await _call(client.submit, cells=[_spec(seed=2)])
+            with pytest.raises(Shed) as exc:
+                await _call(client.submit, cells=[_spec(seed=3)])
+            assert exc.value.retry_after > 0
+            snap = await _call(client.snapshot)
+            assert snap["serve"]["admission"]["shed_total"] >= 1
+
+        _with_service(cfg, slow_runner, body)
+
+    def test_quick_lane_overtakes_bulk_backlog(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            node = service.node
+            bulk = node.submit(
+                [_spec(seed=s) for s in range(1, 5)], lane="bulk"
+            )
+            quick = node.submit([_spec(seed=99)], lane="quick")
+            info = await _wait_job(node, quick["job"])
+            assert info.status == "done"
+            bulk_job = node.registry.jobs[bulk["job"]]
+            # the quick probe finished while bulk cells still queued
+            assert len(bulk_job.done) < 4
+
+        _with_service(cfg, slow_runner, body)
+
+    def test_drain_flips_health_and_refuses_submits(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            await _call(client.submit, cells=[_spec(seed=1)])
+            status, _ = await _call(client.readyz)
+            assert status == 200
+            await _call(client.drain)
+            status, data = await _call(client.healthz)
+            assert status == 503 and data["status"] == "draining"
+            status, data = await _call(client.readyz)
+            assert status == 503 and data["ready"] is False
+            with pytest.raises(DrainingError):
+                await _call(client.submit, cells=[_spec(seed=2)])
+            await asyncio.wait_for(service.node.stopped.wait(), 30.0)
+            # the in-flight cell was allowed to finish and was recorded
+            assert len(service.node.manifest.records()) == 1
+
+        _with_service(cfg, slow_runner, body)
+
+    def test_metrics_exposition_parses_with_serve_families(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(client.submit, cells=[_spec(seed=1)])
+            await _call(client.wait, out["job"], 30.0, 0.05)
+            return await _call(client.metrics_text)
+
+        text = _with_service(cfg, ok_runner, body)
+        families = parse_exposition(text)  # raises on malformed exposition
+        assert "repro_serve_inflight_cells" in families
+        assert "repro_serve_queued_cells" in families
+        assert "repro_serve_jobs" in families
+        done = [
+            v
+            for labels, v in families["repro_serve_jobs"]["samples"]
+            if labels.get("state") == "done"
+        ]
+        assert done == [1.0]
+        (sample,) = families["repro_serve_completed_cells_total"]["samples"]
+        assert sample[1] == 1.0
+
+    def test_http_error_paths(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            status, _ = await _call(
+                client._request, "POST", "/submit", {"cells": "not-a-list"}
+            )
+            assert status == 400
+            status, _ = await _call(client._request, "GET", "/jobs/j999")
+            assert status == 404
+            status, _ = await _call(client._request, "GET", "/no/such/route")
+            assert status == 404
+
+        _with_service(cfg, ok_runner, body)
+
+    def test_dropped_connections_leave_service_healthy(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            for _ in range(5):
+                await _call(drop_connection, "127.0.0.1", service.port)
+            client = ServeClient("127.0.0.1", service.port)
+            status, _ = await _call(client.healthz)
+            assert status == 200
+            out = await _call(client.submit, cells=[_spec(seed=1)])
+            info = await _call(client.wait, out["job"], 30.0, 0.05)
+            assert info["status"] == "done"
+
+        _with_service(cfg, ok_runner, body)
+
+
+# ----------------------------------------------------------------------
+# JSONL protocol
+# ----------------------------------------------------------------------
+
+
+class TestJsonlProtocol:
+    def test_ping_submit_wait_over_one_connection(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+
+            async def op(req):
+                writer.write(json.dumps(req).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await asyncio.wait_for(reader.readline(), 30))
+
+            pong = await op({"op": "ping"})
+            assert pong["ok"] and pong["pong"] and not pong["draining"]
+            sub = await op({"op": "submit", "cells": [_spec(seed=1)]})
+            assert sub["ok"]
+            done = await op({"op": "wait", "job": sub["job"], "timeout": 30})
+            assert done["ok"] and done["status"] == "done"
+            status = await op({"op": "status", "job": sub["job"]})
+            assert status["ok"] and status["done"] == 1
+            bad = await op({"op": "frobnicate"})
+            assert not bad["ok"]
+            garbage = await op({"op": "status", "job": "j999"})
+            assert not garbage["ok"]
+            writer.close()
+            await writer.wait_closed()
+
+        _with_service(cfg, ok_runner, body)
+
+
+# ----------------------------------------------------------------------
+# Failure handling (scheduler level)
+# ----------------------------------------------------------------------
+
+
+class TestFailureHandling:
+    def test_transient_error_retried_to_success(self, tmp_path):
+        cfg = _cfg(tmp_path, retries=1)
+
+        async def body(node):
+            out = node.submit([_spec(seed=1)])
+            await _wait_job(node, out["job"])
+            (rec,) = node.manifest.records().values()
+            assert rec.ok and rec.attempts == 2
+
+        _with_node(cfg, flaky_runner, body)
+
+    def test_error_exhausts_retries_terminal(self, tmp_path):
+        cfg = _cfg(tmp_path, retries=0)
+
+        async def body(node):
+            out = node.submit([_spec(seed=1)])
+            await _wait_job(node, out["job"])
+            (rec,) = node.manifest.records().values()
+            assert rec.status == "error" and "flake" in rec.error
+
+        _with_node(cfg, flaky_runner, body)
+
+    def test_worker_crash_requeued_not_terminal(self, tmp_path):
+        cfg = _cfg(tmp_path, retries=0)  # crashes do not consume retries
+
+        async def body(node):
+            out = node.submit([_spec(seed=1)])
+            await _wait_job(node, out["job"], timeout=60.0)
+            (rec,) = node.manifest.records().values()
+            assert rec.ok
+            (state,) = node.cells.values()
+            assert state.crashes >= 1
+
+        _with_node(cfg, crash_once_runner, body)
+
+    def test_diagnosed_error_quarantined_no_retry(self, tmp_path):
+        cfg = _cfg(tmp_path, retries=5)
+
+        async def body(node):
+            out = node.submit([_spec(seed=1)])
+            job = await _wait_job(node, out["job"])
+            (rec,) = node.manifest.records().values()
+            assert rec.status == "error"
+            assert rec.diagnosis["reason"] == "deadlock"
+            assert rec.attempts == 1  # deterministic failure: never retried
+            assert node.quarantined_total == 1
+            info = job.to_dict(node.cells)
+            (cell,) = info["cells"].values()
+            assert cell["diagnosis"]["component"] == "vault3"
+
+        _with_node(cfg, diagnosed_runner, body)
+
+    def test_job_deadline_expires_queued_cells(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(node):
+            node.submit([_spec(seed=1)])  # occupies the single worker
+            out = node.submit([_spec(seed=2)], deadline_s=0.2)
+            job = node.registry.jobs[out["job"]]
+            await asyncio.wait_for(
+                node._job_events[out["job"]].wait(), 30.0
+            )
+            assert job.status == "expired"
+
+        _with_node(cfg, slow_runner, body)
+
+    def test_enospc_terminal_record_retried_until_landed(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(node):
+            with enospc_manifest(node.manifest, failures=10**6) as fired:
+                out = node.submit([_spec(seed=1)])
+                await _wait_job(node, out["job"])
+                # the job completed for its client even with a full disk...
+                assert len(node._unrecorded) == 1
+                assert fired[0] > 0
+                assert node.manifest.records() == {}
+            # ...and the record lands once space returns (next tick flush)
+            for _ in range(100):
+                if node.manifest.records():
+                    break
+                await asyncio.sleep(0.1)
+            (rec,) = node.manifest.records().values()
+            assert rec.ok
+            assert node._unrecorded == []
+
+        _with_node(cfg, ok_runner, body)
+
+
+# ----------------------------------------------------------------------
+# Drain -> checkpoint -> resume
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointResume:
+    def test_drain_checkpoints_pending_and_resume_finishes(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        specs = [_spec(seed=s) for s in (1, 2, 3)]
+
+        async def first(node):
+            node.submit(specs)
+            await asyncio.sleep(0.2)  # one cell in flight, two queued
+            node.begin_drain()
+            await asyncio.wait_for(node.stopped.wait(), 30.0)
+
+        _with_node(cfg, slow_runner, first)
+        ckpt = checkpoint_path(cfg.manifest)
+        assert os.path.exists(ckpt)
+        rows = [json.loads(ln) for ln in open(ckpt).read().splitlines()]
+        assert rows[0]["kind"] == "checkpoint"
+        pending = [r for r in rows if r["kind"] == "pending"]
+        from repro.campaign.manifest import Manifest
+
+        done_before = set(Manifest(cfg.manifest).records())
+        assert {r["cell_id"] for r in pending} == {
+            cell_from_spec(s).cell_id for s in specs
+        } - done_before
+        assert pending  # the drain really did leave work behind
+
+        cfg2 = _cfg(tmp_path, resume=True, exit_when_complete=True)
+
+        async def second(node):
+            await asyncio.wait_for(node.stopped.wait(), 60.0)
+
+        _with_node(cfg2, ok_runner, second)
+        assert not os.path.exists(ckpt)  # consumed
+        records = Manifest(cfg.manifest).records()
+        assert set(records) == {cell_from_spec(s).cell_id for s in specs}
+        assert all(r.ok for r in records.values())
+
+    def test_resume_skips_already_terminal_cells(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def first(node):
+            out = node.submit([_spec(seed=1)])
+            await _wait_job(node, out["job"])
+
+        _with_node(cfg, ok_runner, first)
+
+        cfg2 = _cfg(tmp_path, resume=True)
+
+        async def second(node):
+            out = node.submit([_spec(seed=1)])
+            job = node.registry.jobs[out["job"]]
+            assert job.status == "done"  # satisfied from the manifest
+            assert node.completed_cells == 0  # nothing re-executed
+            (state,) = node.cells.values()
+            assert state.record is not None and state.record.ok
+
+        _with_node(cfg2, ok_runner, second)

@@ -1,0 +1,297 @@
+"""Tests for the manifest work-queue overlay and retry jitter.
+
+Covers the satellite edge cases named in the serve issue: resume over a
+manifest whose last record is a torn claim line, duplicate claims from two
+generations (higher generation wins), and lease expiry mid-merge — plus the
+WorkQueue lifecycle (attach/claim/renew/steal/record) and the deterministic
+full-jitter retry backoff shared by the campaign executor and the service.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.executor import MAX_RETRY_DELAY, retry_delay
+from repro.campaign.manifest import (
+    CellRecord,
+    ClaimRecord,
+    Manifest,
+    STATUS_OK,
+)
+from repro.serve.jobs import cell_from_spec
+from repro.serve.steal import DEFAULT_LEASE_TICKS, WorkQueue
+
+
+def _spec(workload="HM1", scheme="base", refs=100, seed=1):
+    return {"workload": workload, "scheme": scheme, "refs": refs, "seed": seed}
+
+
+def _cid(spec):
+    return cell_from_spec(spec).cell_id
+
+
+def _record(cell_id, workload="HM1", scheme="base"):
+    return CellRecord(
+        cell_id=cell_id,
+        workload=workload,
+        scheme=scheme,
+        status=STATUS_OK,
+        attempts=1,
+        elapsed=0.5,
+        summary={"cycles": 10},
+    )
+
+
+# ----------------------------------------------------------------------
+# Deterministic full-jitter retry backoff (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestRetryDelay:
+    def test_reproducible_per_cell_and_attempt(self):
+        a = retry_delay("cell-A", 2, 0.5)
+        assert a == retry_delay("cell-A", 2, 0.5)
+
+    def test_different_cells_desynchronized(self):
+        delays = {retry_delay(f"cell-{i}", 3, 1.0) for i in range(32)}
+        # full jitter: a mass crash must not produce a retry stampede
+        assert len(delays) > 16
+
+    def test_bounded_by_exponential_envelope(self):
+        for attempt in range(1, 8):
+            for cid in ("x", "y", "z"):
+                d = retry_delay(cid, attempt, 0.5)
+                assert 0.0 <= d <= min(MAX_RETRY_DELAY, 0.5 * 2 ** (attempt - 1))
+
+    def test_cap_override(self):
+        for attempt in range(1, 20):
+            assert retry_delay("c", attempt, 1.0, cap=2.0) <= 2.0
+
+    def test_zero_base_disables_backoff(self):
+        assert retry_delay("c", 5, 0.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Claim records in the manifest
+# ----------------------------------------------------------------------
+
+
+class TestClaimRecords:
+    def test_beats_prefers_higher_generation(self):
+        low = ClaimRecord("c", "a", 1, 9, 20)
+        high = ClaimRecord("c", "b", 2, 3, 10)
+        assert high.beats(low)
+        assert not low.beats(high)
+        assert low.beats(None)
+
+    def test_beats_ties_break_on_clock_then_worker(self):
+        early = ClaimRecord("c", "a", 1, 3, 10)
+        late = ClaimRecord("c", "a", 1, 5, 12)
+        assert late.beats(early)
+        # full tie on (gen, clock): worker name decides, deterministically
+        wa = ClaimRecord("c", "a", 1, 5, 12)
+        wb = ClaimRecord("c", "b", 1, 5, 12)
+        assert wb.beats(wa) and not wa.beats(wb)
+
+    def test_duplicate_claims_higher_generation_wins(self, tmp_path):
+        """Issue edge case: the same cell claimed by two generations."""
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append_claim(ClaimRecord("c1", "old", 1, 5, 30, {"workload": "HM1"}))
+        m.append_claim(ClaimRecord("c1", "new", 2, 6, 31, {"workload": "HM1"}))
+        scan = m.scan()
+        assert scan.claims["c1"].worker == "new"
+        assert scan.max_gen == 2
+
+    def test_torn_claim_as_last_line_skipped_on_resume(self, tmp_path):
+        """Issue edge case: resume over a manifest whose final record is a
+        claim torn mid-append by a crash."""
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append(_record("done-cell"))
+        m.append_claim(ClaimRecord("c1", "w", 1, 2, 26))
+        with open(m.path, "a") as fh:
+            fh.write('{"kind": "claim", "cell_id": "c2", "worker": "w", "ge')
+        scan = m.scan()
+        assert set(scan.claims) == {"c1"}
+        assert set(scan.records) == {"done-cell"}
+        # and the queue can still attach and make progress on top of it
+        q = WorkQueue(m, "survivor")
+        q.attach()
+        assert q.gen == 2
+        q.tick()
+        assert m.scan().clock == scan.clock + 1
+
+    def test_writers_heal_a_torn_tail_before_appending(self, tmp_path):
+        """A peer's torn line must not swallow the next writer's record."""
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append_claim(ClaimRecord("c1", "w", 1, 1, 25))
+        with open(m.path, "a") as fh:
+            fh.write('{"cell_id": "torn-terminal", "stat')  # crash mid-append
+        m.append(_record("c1"))
+        scan = m.scan()
+        assert set(scan.records) == {"c1"}  # the healed append parsed fine
+        raw = open(m.path).read()
+        assert not any("stat{" in ln for ln in raw.splitlines())
+
+    def test_lease_expiry_driven_by_logical_clock(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append_claim(ClaimRecord("c1", "dead", 1, 2, 4))
+        m.append_tick("live", 3)
+        assert not m.scan().expired("c1")  # lease 4 >= clock 3
+        m.append_tick("live", 5)
+        assert m.scan().expired("c1")
+
+    def test_lease_expiry_mid_merge_not_expired_once_terminal(self, tmp_path):
+        """Issue edge case: a lease that expires while the merge is landing.
+
+        The terminal record is authoritative: once it is in the file the
+        cell is no longer expired/stealable no matter what the claim says.
+        """
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append_claim(ClaimRecord("c1", "slow", 1, 2, 4))
+        m.append_tick("peer", 50)  # lease long gone: peers see it stealable
+        assert m.scan().expired("c1")
+        m.append(_record("c1"))  # the slow owner's merge finally lands
+        scan = m.scan()
+        assert not scan.expired("c1")
+        assert "c1" in scan.records
+
+    def test_claims_invisible_to_plain_records(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append_claim(ClaimRecord("c1", "w", 1, 1, 25))
+        m.append(_record("c2"))
+        assert set(m.records()) == {"c2"}  # pre-serve readers unchanged
+
+
+# ----------------------------------------------------------------------
+# WorkQueue: attach / claim / renew / steal / record
+# ----------------------------------------------------------------------
+
+
+class TestWorkQueue:
+    def test_attach_generations_monotonic(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        a = WorkQueue(m, "a")
+        a.attach()
+        a.claim("c1", _spec())
+        b = WorkQueue(m, "b")
+        b.attach()
+        assert (a.gen, b.gen) == (1, 2)
+        # a restart of "a" outranks its own ghost
+        a2 = WorkQueue(m, "a")
+        a2.attach()
+        assert a2.gen == 3
+
+    def test_seeded_claims_immediately_stealable(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        spec = _spec()
+        seeder = WorkQueue(m, "seed-writer")
+        seeder.attach()
+        seeder.seed([(_cid(spec), spec)])
+        node = WorkQueue(m, "node")
+        node.attach()
+        steals = node.steals(node.scan())
+        assert [cid for cid, _ in steals] == [_cid(spec)]
+
+    def test_steals_skip_unexpired_done_and_unportable(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        live_spec = _spec(seed=1)
+        done_spec = _spec(seed=2)
+        bare_spec = _spec(seed=3)
+        lying_spec = _spec(seed=4)
+        q = WorkQueue(m, "peer")
+        q.attach()
+        q.tick()
+        clock = q.clock
+        # live lease, terminal cell, claim with no spec, claim whose spec
+        # rebuilds a *different* cell id, and a corrupt spec
+        m.append_claim(ClaimRecord(_cid(live_spec), "w", 1, clock, clock + 10, live_spec))
+        m.append_claim(ClaimRecord(_cid(done_spec), "w", 1, 0, 0, done_spec))
+        m.append(_record(_cid(done_spec)))
+        m.append_claim(ClaimRecord(_cid(bare_spec), "w", 1, 0, 0, None))
+        m.append_claim(ClaimRecord("not-the-real-id", "w", 1, 0, 0, lying_spec))
+        m.append_claim(ClaimRecord("corrupt", "w", 1, 0, 0, {"workload": "nope"}))
+        assert q.steals(q.scan()) == []
+
+    def test_record_dedupes_against_peers(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        a = WorkQueue(m, "a")
+        a.attach()
+        b = WorkQueue(m, "b")
+        b.attach()
+        cid = _cid(_spec())
+        assert a.record(_record(cid)) is True
+        # b raced the same cell (at-least-once execution): merge refuses dup
+        assert b.record(_record(cid)) is False
+        terminals = [
+            ln
+            for ln in open(m.path).read().splitlines()
+            if '"kind"' not in ln and ln.strip()
+        ]
+        assert len(terminals) == 1  # exactly once in the file too
+
+    def test_outbid_claim_leaves_mine(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        a = WorkQueue(m, "a")
+        a.attach()
+        a.claim("c1", _spec())
+        assert "c1" in a.mine
+        b = WorkQueue(m, "b")
+        b.attach()
+        b.claim("c1", _spec())  # higher gen: steals it out from under a
+        a.scan()
+        assert "c1" not in a.mine
+
+    def test_renewals_due_near_lease_end(self, tmp_path):
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        q = WorkQueue(m, "a", lease_ticks=4)
+        q.attach()
+        q.claim("c1", _spec())
+        assert q.renewals_due(q.scan()) == []  # fresh lease
+        q.tick()
+        q.tick()
+        q.tick()  # 1 tick of lease left < 4 * 0.5
+        assert q.renewals_due(q.scan()) == ["c1"]
+        q.claim("c1", _spec())  # renewal restarts the lease
+        assert q.renewals_due(q.scan()) == []
+
+    def test_default_lease_covers_renew_fraction(self):
+        assert DEFAULT_LEASE_TICKS >= 2
+        with pytest.raises(ValueError):
+            WorkQueue(Manifest("unused.jsonl"), "w", lease_ticks=0)
+
+    def test_duplicate_manifest_lines_merge_idempotently(self, tmp_path):
+        """Replayed lines (chaos: duplicated appends) change nothing."""
+        m = Manifest(tmp_path / "m.jsonl")
+        m.reset()
+        m.append_claim(ClaimRecord("c1", "w", 1, 1, 25, _spec()))
+        m.append(_record("c2"))
+        before = m.scan()
+        lines = [
+            ln for ln in open(m.path).read().splitlines() if "header" not in ln
+        ]
+        with open(m.path, "a") as fh:
+            for ln in lines + lines:
+                fh.write(ln + "\n")
+        after = m.scan()
+        assert set(after.records) == set(before.records)
+        assert after.claims["c1"] == before.claims["c1"]
+        assert after.max_gen == before.max_gen
+
+    def test_spec_roundtrip_through_claim_json(self):
+        """A spec survives JSON (what the manifest actually stores) and
+        rebuilds the exact same cell id — the steal-validation invariant."""
+        spec = _spec(workload="LM1", scheme="camps", refs=250, seed=7)
+        wire = json.loads(json.dumps(spec))
+        assert cell_from_spec(wire).cell_id == _cid(spec)

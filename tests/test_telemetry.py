@@ -173,6 +173,37 @@ class TestJsonlTailer:
         path.write_text('{"b": 1}\n')  # same inode, shrunk below offset
         assert tailer.poll() == [{"b": 1}]
 
+    def test_truncate_then_regrow_past_offset_resets(self, tmp_path):
+        """Regression: truncation masked by regrowth (satellite fix).
+
+        A writer truncates the file and then writes *more* bytes than the
+        old read offset before the tailer polls again.  A size-only check
+        (`size < offset`) cannot see that; the tailer must notice the
+        replaced head via its anchor prefix and reread from zero instead of
+        emitting a garbage mid-record suffix of the new content.
+        """
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"old": 1}\n{"old": 2}\n')
+        tailer = JsonlTailer(path)
+        assert len(tailer.poll()) == 2
+        # same inode: truncate + rewrite, ending *larger* than the old offset
+        new = "".join(f'{{"new": {i}}}\n' for i in range(10))
+        assert len(new) > path.stat().st_size
+        path.write_text(new)
+        assert tailer.poll() == [{"new": i} for i in range(10)]
+        assert tailer.poll() == []  # exactly once
+
+    def test_regrow_same_prefix_not_misreset(self, tmp_path):
+        """An append-only writer never trips the anchor check."""
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n')
+        tailer = JsonlTailer(path)
+        assert tailer.poll() == [{"a": 1}]
+        with open(path, "a") as fh:
+            for i in range(5):
+                fh.write(f'{{"b": {i}}}\n')
+        assert tailer.poll() == [{"b": i} for i in range(5)]
+
     def test_garbage_complete_line_skipped(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text('{"a": 1}\nnot json at all\n{"b": 2}\n[1, 2]\n')
@@ -284,6 +315,87 @@ class TestWorkerTelemetry:
             telemetry.deactivate_worker()
         assert telemetry.current_worker() is None
         assert spool_path(tmp_path, "w9").exists()
+
+
+# ----------------------------------------------------------------------
+# Durable exit records (satellite: "terminated" vs "hung")
+# ----------------------------------------------------------------------
+
+
+class TestExitRecords:
+    def _exits(self, path):
+        return [r for r in _lines(path) if r.get("phase") == "exit"]
+
+    def test_clean_stop_writes_exit_reason(self, tmp_path):
+        wt = telemetry.activate_worker(tmp_path, "w0", interval=60.0)
+        telemetry.deactivate_worker()
+        (rec,) = self._exits(wt.spool.path)
+        assert rec["reason"] == "clean"
+
+    def test_write_exit_idempotent(self, tmp_path):
+        spool = TelemetrySpool(spool_path(tmp_path, "w0"), "w0")
+        wt = WorkerTelemetry(spool, interval=60.0)
+        wt.write_exit("sigterm")
+        wt.write_exit("clean")  # late double-stop must not add a record
+        wt.stop()
+        exits = self._exits(spool.path)
+        assert len(exits) == 1
+        assert exits[0]["reason"] == "sigterm"
+
+    def test_sigterm_writes_exit_record_and_dies_by_signal(self, tmp_path):
+        """A SIGTERMed worker leaves reason="sigterm" *and* still dies with
+        the signal (exit status preserved for supervisors)."""
+        import signal
+        import subprocess
+        import sys
+
+        script = (
+            "import os, signal, sys\n"
+            "from repro.obs import telemetry\n"
+            f"telemetry.activate_worker({str(tmp_path)!r}, 'w0', interval=60.0)\n"
+            "os.kill(os.getpid(), signal.SIGTERM)\n"
+            "sys.exit(99)  # unreachable: the re-raised signal kills us\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGTERM
+        exits = self._exits(spool_path(tmp_path, "w0"))
+        assert len(exits) == 1
+        assert exits[0]["reason"] == "sigterm"
+
+    def test_sigkill_leaves_no_exit_record(self, tmp_path):
+        """The contrast case: a SIGKILLed worker goes silent — no exit
+        record — which is exactly what lets monitors tell the two apart."""
+        import signal
+        import subprocess
+        import sys
+
+        script = (
+            "import os, signal\n"
+            "from repro.obs import telemetry\n"
+            f"telemetry.activate_worker({str(tmp_path)!r}, 'w0', interval=60.0)\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        assert self._exits(spool_path(tmp_path, "w0")) == []
 
 
 # ----------------------------------------------------------------------
