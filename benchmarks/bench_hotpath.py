@@ -22,6 +22,19 @@ drift hits both trees equally.  The measured speedup at pin time was
 targeted 1.8x; the honest paired measurement landed at 1.66x with results
 byte-identical, and that is the number recorded here.
 
+The batched-engine pass (cohort dispatch, time-warp idle skip, fused NumPy
+bank scans, the ``REPRO_BACKEND`` seam) continued from that baseline:
+measured against the *pre-overhaul* tree it lands at **~1.8x** cumulative
+(calibration-normalized, ~0.50 s vs the 1.0327 s baseline at 3000
+refs/core; the exact figure is printed per run and recorded in
+``BENCH_hotpath.json``).  The issue targeted 2.5x; per the same
+honest-measurement policy as the 1.8x->1.66x pin above, the achieved
+number is recorded, not the target.  The ``batching`` block in ``BENCH_hotpath.json`` records the
+evidence: cohort-size histogram (how much same-cycle work each heap pop
+amortizes) and the warped idle-span distribution (cycles the clock jumps
+instead of stepping), both gathered by replaying the pinned workload one
+event at a time and matching ``Engine.idle_cycles_skipped`` exactly.
+
 CI runs ``--quick --check``: digest parity plus a calibration-normalized
 cycles/sec comparison against the committed ``BENCH_hotpath.json``, failing
 on a >20% regression.
@@ -198,6 +211,110 @@ def normalized(sample: Dict[str, object], calib: float) -> float:
 
 
 # ----------------------------------------------------------------------
+# Batching census (cohort sizes + idle spans)
+# ----------------------------------------------------------------------
+def _live_head(engine):
+    """The heap head that will fire next, dropping cancelled entries the
+    same way the run loop would (mirrors Engine.peek_time, key included)."""
+    heap = engine._heap
+    pool = engine._pool
+    while heap:
+        head = heap[0]
+        if len(head) != 4 or not head[3].cancelled:
+            return head
+        ev = heapq.heappop(heap)[3]
+        ev.fn = None
+        ev.args = ()
+        pool.append(ev)
+    return None
+
+
+def _bucket(n: int) -> str:
+    """Power-of-two bucket label for a positive count."""
+    lo = 1
+    while lo * 2 <= n:
+        lo *= 2
+    return f"{lo}-{lo * 2 - 1}"
+
+
+def cohort_census(refs: int) -> Dict[str, object]:
+    """One instrumented replay (separate from the timing rounds): drive the
+    engine one event at a time, recording each fired event's ``(time,
+    priority)`` cohort key.  Cohorts are maximal runs of consecutive fired
+    events sharing that key - exactly the batches the fast loop drains in
+    one pass - and idle spans are the warped gaps between consecutive event
+    cycles.  Single-stepping uses the engine's general loop, whose fire
+    order is identical to the batched loop (tests/test_engine_properties.py
+    pins the equivalence), so the census sees the true cohort structure.
+    """
+    system = _build(refs)
+    engine = system.engine
+    system._ran = True  # the census drives the engine manually
+    for core in system.cores:
+        core.start()
+    cohort_sizes: Dict[int, int] = {}
+    idle_spans: Dict[str, int] = {}
+    events = 0
+    cohorts = 0
+    idle_cycles = 0
+    max_cohort = 0
+    max_span = 0
+    cur_key = None
+    cur_n = 0
+    last_time: Optional[int] = None
+    while engine._strong:
+        head = _live_head(engine)
+        if head is None:
+            break
+        key = (head[0], head[1])
+        if key != cur_key:
+            if cur_n:
+                cohort_sizes[cur_n] = cohort_sizes.get(cur_n, 0) + 1
+                cohorts += 1
+                if cur_n > max_cohort:
+                    max_cohort = cur_n
+            t = head[0]
+            if last_time is not None and t - last_time > 1:
+                span = t - last_time - 1
+                idle_cycles += span
+                idle_spans[_bucket(span)] = idle_spans.get(_bucket(span), 0) + 1
+                if span > max_span:
+                    max_span = span
+            last_time = t
+            cur_key = key
+            cur_n = 0
+        if engine.run(max_events=1) != 1:
+            break
+        cur_n += 1
+        events += 1
+    if cur_n:
+        cohort_sizes[cur_n] = cohort_sizes.get(cur_n, 0) + 1
+        cohorts += 1
+        if cur_n > max_cohort:
+            max_cohort = cur_n
+    return {
+        "refs": refs,
+        "events": events,
+        "cohorts": {
+            "count": cohorts,
+            "mean_size": events / cohorts if cohorts else 0.0,
+            "max_size": max_cohort,
+            "histogram": {
+                str(k): v for k, v in sorted(cohort_sizes.items())
+            },
+        },
+        "idle": {
+            "cycles_skipped": idle_cycles,
+            "engine_cycles_skipped": engine.idle_cycles_skipped,
+            "max_span": max_span,
+            "span_histogram": dict(
+                sorted(idle_spans.items(), key=lambda kv: int(kv[0].split("-")[0]))
+            ),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Modes
 # ----------------------------------------------------------------------
 def generate(quick_only: bool = False) -> int:
@@ -209,6 +326,9 @@ def generate(quick_only: bool = False) -> int:
         BASELINE_PRE_CHANGE["calib_ops_per_s"] / calib
     )
     speedup = baseline_wall / float(full["wall_s"]) if full else None
+    census = cohort_census(
+        PINS["full"]["refs"] if not quick_only else PINS["quick"]["refs"]
+    )
     payload = {
         "bench": "hotpath",
         "config": {"mix": MIX, "scheme": SCHEME, "seed": SEED},
@@ -218,6 +338,7 @@ def generate(quick_only: bool = False) -> int:
         "quick": quick,
         "full": full,
         "speedup_vs_baseline": speedup,
+        "batching": census,
         "profile": profile_slices(PINS["quick"]["refs"]),
     }
     ok = bool(quick["digest_ok"]) and (full is None or bool(full["digest_ok"]))
@@ -234,8 +355,16 @@ def generate(quick_only: bool = False) -> int:
     if speedup is not None:
         print(
             f"speedup vs pre-change baseline (calibration-normalized): "
-            f"{speedup:.2f}x (paired pin-time measurement: 1.66x)"
+            f"{speedup:.2f}x"
         )
+    co = census["cohorts"]
+    idle = census["idle"]
+    print(
+        f"batching: {co['count']} cohorts over {census['events']} events "
+        f"(mean {co['mean_size']:.2f}, max {co['max_size']}); "
+        f"{idle['cycles_skipped']} idle cycles warped "
+        f"(longest span {idle['max_span']})"
+    )
     if not ok:
         print("DIGEST MISMATCH - not writing BENCH_hotpath.json", file=sys.stderr)
         return 1
@@ -248,7 +377,11 @@ def generate(quick_only: bool = False) -> int:
                 wall_seconds=float(sample["wall_s"]),
                 calib_ops_per_s=calib,
                 digest=str(sample["digest"]),
-                meta={"refs": sample["refs"]},
+                meta={
+                    "refs": sample["refs"],
+                    "cohort_mean": round(float(co["mean_size"]), 3),
+                    "idle_cycles_skipped": int(idle["cycles_skipped"]),
+                },
             )
     return 0
 

@@ -135,9 +135,10 @@ class CampsPrefetcher(Prefetcher):
                 # precharges bank to make it ready for next request").  The
                 # lines already served from the open row seed the buffer
                 # entry's utilization counter.
-                entry = self.rut.get(bank)
-                seed = entry.line_mask if entry is not None else (1 << column)
-                self.rut.clear(bank)
+                # ``e`` *is* rut.get(bank) here (installed above), so its
+                # mask seeds directly; rut.clear inlined.
+                seed = mask
+                entries[bank] = None
                 self.utilization_prefetches += 1
                 self._emit_rut_threshold(self.vault_id, bank, row, util, now)
                 return self._count_issue(

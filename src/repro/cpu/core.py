@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import abc
 from collections import deque
+from heapq import heappush
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional
 
 import numpy as np
 
 from repro.request import MemoryRequest
+from repro.sim.arrays import replay_tables
 from repro.sim.engine import Engine
 
 
@@ -53,18 +55,26 @@ class CoreParams:
 class MemoryPort(abc.ABC):
     """What a core needs from the memory system."""
 
+    #: True when the port threads ``meta`` through to the fill callback via
+    #: ``MemoryRequest.meta``.  Ports that guarantee it let the core pass one
+    #: shared bound method as ``on_fill`` (with per-load context in ``meta``)
+    #: instead of allocating a fresh closure per load.
+    fill_via_meta: bool = False
+
     @abc.abstractmethod
     def load(
         self,
         core_id: int,
         addr: int,
         on_fill: Callable[[MemoryRequest], None],
+        meta: Optional[Any] = None,
     ) -> Optional[int]:
         """Issue a load at the current engine cycle.
 
         Returns a known completion *cycle* for accesses whose latency is
         deterministic (cache hits), or None when the data will arrive via
-        ``on_fill`` (a memory miss).
+        ``on_fill`` (a memory miss).  Ports with ``fill_via_meta`` stash
+        ``meta`` on the request so ``on_fill`` can recover its context.
         """
 
     @abc.abstractmethod
@@ -94,19 +104,39 @@ class Core:
         self.gaps = np.asarray(gaps, dtype=np.int64)
         self.addrs = np.asarray(addrs, dtype=np.int64)
         self.writes = np.asarray(writes, dtype=bool)
-        # Plain-list mirrors for the replay loop: scalar indexing into a
-        # NumPy array boxes a fresh numpy scalar per record, which showed
-        # up in profiles at one gap+addr+write triple per trace record.
-        self._gaps = self.gaps.tolist()
-        self._addrs = self.addrs.tolist()
-        self._writes = self.writes.tolist()
         self.params = params or CoreParams()
         # replay-loop mirrors: the frozen-dataclass attribute chain is paid
         # once here instead of per _run() invocation
         self._issue_width = self.params.issue_width
         self._rob_size = self.params.rob_size
         self._mlp = self.params.mlp
+        # Plain-list mirrors for the replay loop: scalar indexing into a
+        # NumPy array boxes a fresh numpy scalar per record, which showed
+        # up in profiles at one gap+addr+write triple per trace record.
+        # The per-record arithmetic (front-end cycle bump, retire count) is
+        # a pure function of the trace, so it is precomputed vectorized
+        # instead of re-derived record by record in the loop.
+        self._bumps, self._retire = replay_tables(self.gaps, self._issue_width)
+        self._addrs = self.addrs.tolist()
+        self._writes = self.writes.tolist()
         self.on_done = on_done
+        # One shared fill callback (context rides on MemoryRequest.meta) when
+        # the port supports it; otherwise fall back to per-load closures.
+        self._fill_via_meta = getattr(mem, "fill_via_meta", False)
+        # Read-only replay context pack: one attribute read + C-level unpack
+        # in _run's prologue instead of a dozen attribute chains per call.
+        self._run_ctx = (
+            self._rob_size,
+            self._mlp,
+            self._bumps,
+            self._retire,
+            self._addrs,
+            self._writes,
+            mem,
+            core_id,
+            len(self.gaps),
+            self._fill if self._fill_via_meta else None,
+        )
 
         self.n = len(self.gaps)
         self.idx = 0
@@ -155,16 +185,19 @@ class Core:
         cycle = self.cycle
         if now > cycle:
             cycle = now
-        issue_width = self._issue_width
-        rob_size = self._rob_size
-        mlp = self._mlp
-        gaps = self._gaps
-        addrs = self._addrs
-        writes = self._writes
+        (
+            rob_size,
+            mlp,
+            bumps,
+            retire,
+            addrs,
+            writes,
+            mem,
+            core_id,
+            n,
+            fill,
+        ) = self._run_ctx
         outstanding = self.outstanding
-        mem = self.mem
-        core_id = self.core_id
-        n = self.n
         idx = self.idx
         instr = self.instr
         advanced = self._advanced
@@ -173,9 +206,8 @@ class Core:
         stalled = False
         while idx < n:
             if not advanced:
-                gap = gaps[idx]
-                cycle += -(-gap // issue_width)  # ceil division
-                pending_instr = instr + gap + 1
+                cycle += bumps[idx]
+                pending_instr = retire[idx]
                 advanced = True
 
             # ROB constraint: cannot run further than rob_size instructions
@@ -208,7 +240,10 @@ class Core:
                 self._advanced = advanced
                 self._pending_instr = pending_instr
                 self.pending_misses = pending_misses
-                engine.call_at(cycle, self._run)
+                # Engine.call_at inlined (cycle > now by the branch guard).
+                engine._seq = seq = engine._seq + 1
+                heappush(engine._heap, (cycle, 0, seq, self._run, ()))
+                engine._strong += 1
                 return
 
             # Commit the record and issue its memory operation.
@@ -222,7 +257,10 @@ class Core:
             else:
                 entry: List[Optional[int]] = [instr, None]
                 outstanding.append(entry)
-                known = mem.load(core_id, addr, self._make_fill(entry))
+                if fill is not None:
+                    known = mem.load(core_id, addr, fill, entry)
+                else:
+                    known = mem.load(core_id, addr, self._make_fill(entry))
                 if known is not None:
                     entry[1] = known
                 else:
@@ -237,6 +275,25 @@ class Core:
             self._waiting = True
             return
         self._try_finish()
+
+    def _fill(self, req: MemoryRequest) -> None:
+        """Shared fill callback for ``fill_via_meta`` ports: the ROB entry
+        rides on ``req.meta`` instead of in a per-load closure cell."""
+        entry = req.meta
+        engine = self.engine
+        now = engine.now
+        entry[1] = now
+        self.pending_misses -= 1
+        if self._waiting:
+            self._waiting = False
+            if now > self.cycle:
+                self.stall_cycles += now - self.cycle
+            # Engine.call_at inlined (time is now; never past).
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap, (now, 0, seq, self._run, ()))
+            engine._strong += 1
+        elif self.done is False and self.idx >= self.n:
+            self._try_finish()
 
     def _make_fill(self, entry: List[Optional[int]]) -> Callable[[MemoryRequest], None]:
         def fill(_req: MemoryRequest) -> None:

@@ -189,6 +189,11 @@ class Bank:
         busy = self.busy_until
         start = now if now > busy else busy
         open_row = self.open_row
+        # ``_log`` resolves to the shared noop unless commands are recorded
+        # or a tracer is attached; skipping the empty call keeps the common
+        # path branch-only (same guard style as the emit hooks).
+        log = self._log
+        logging = log is not noop
 
         if open_row == row and open_row is not None:
             outcome = RowOutcome.HIT
@@ -197,7 +202,8 @@ class Bank:
         elif open_row is None:
             outcome = RowOutcome.EMPTY
             self.empties += 1
-            self._log(CommandKind.ACTIVATE, row, start)
+            if logging:
+                log(CommandKind.ACTIVATE, row, start)
             self.acts += 1
             self.last_activate = start
             data_start = start + t.trcd_cpu
@@ -207,19 +213,23 @@ class Bank:
             self._emit_conflict(self.bus.vault_id, self.bank_id, open_row, row, start)
             tras_done = self.last_activate + t.tras_cpu
             pre_at = start if start > tras_done else tras_done
-            self._log(CommandKind.PRECHARGE, open_row, pre_at)
+            if logging:
+                log(CommandKind.PRECHARGE, open_row, pre_at)
             self.pres += 1
             act_at = pre_at + t.trp_cpu
-            self._log(CommandKind.ACTIVATE, row, act_at)
+            if logging:
+                log(CommandKind.ACTIVATE, row, act_at)
             self.acts += 1
             self.last_activate = act_at
             data_start = act_at + t.trcd_cpu
 
         if kind is AccessKind.READ:
-            self._log(CommandKind.READ, row, data_start)
+            if logging:
+                log(CommandKind.READ, row, data_start)
             self.reads += 1
         else:
-            self._log(CommandKind.WRITE, row, data_start)
+            if logging:
+                log(CommandKind.WRITE, row, data_start)
             self.writes += 1
 
         # inline self._data_transfer(data_start, t.tburst_cpu)

@@ -26,6 +26,7 @@ from repro.fabric.host import FabricHost
 from repro.fabric.topology import FabricConfig, Topology
 from repro.hmc.device import HMCDevice
 from repro.system import DirectPort, SimulationResult
+from repro.sim.backend import engine_class as backend_engine_class
 from repro.sim.engine import Engine
 from repro.workloads.trace import Trace
 
@@ -71,7 +72,8 @@ class FabricSystem:
         fabric = self.config.fabric
         self.fabric = fabric
         self.workload = workload
-        self.engine = Engine()
+        # Backend seam (see repro.sim.backend): same selection as System.
+        self.engine = backend_engine_class()()
         self.topology = Topology(fabric)
         self.devices: List[HMCDevice] = [
             HMCDevice(

@@ -11,6 +11,7 @@ response direction; the controller timestamps them, feeds the AMAT histogram
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import List
 
 from repro.hmc.address import AddressMapping
@@ -91,6 +92,42 @@ class HostController:
         self.read_latency_hist = self.stats.histogram(
             "read_latency", nbins=64, bin_width=32
         )
+        # send() context pack: every object here is bound once and mutated
+        # only in place, so the tuple stays current; one attribute read + a
+        # C-level unpack replaces the dozen attribute chains that used to
+        # open every packetization.
+        self._send_ctx = (
+            engine,
+            self._v_shift,
+            self._v_mask,
+            self._b_shift,
+            self._b_mask,
+            self._r_shift,
+            self._c_shift,
+            self._c_mask,
+            self._req_bytes,
+            self.links,
+            self._nlinks,
+            self._energy,
+            self._xbar,
+            self._vault_receive,
+            self._c_reads,
+            self._c_writes,
+        )
+        self._tx_ctx = (
+            engine,
+            self._resp_bytes,
+            self.links,
+            self._nlinks,
+            self._energy,
+            self._deliver,
+        )
+        self._deliver_ctx = (
+            engine,
+            self.latency_hist,
+            self.read_latency_hist,
+            self._c_done,
+        )
 
     # ------------------------------------------------------------------
     # Instrumentation (see repro.obs.hooks)
@@ -112,17 +149,34 @@ class HostController:
 
     def send(self, req: MemoryRequest) -> None:
         """Packetize and transmit one request at ``engine.now``."""
-        engine = self.engine
+        (
+            engine,
+            v_shift,
+            v_mask,
+            b_shift,
+            b_mask,
+            r_shift,
+            c_shift,
+            c_mask,
+            req_bytes,
+            links,
+            nlinks,
+            energy,
+            xbar,
+            vault_receive,
+            c_reads,
+            c_writes,
+        ) = self._send_ctx
         now = engine.now
         req.host_cycle = now
         addr = req.addr
-        req.vault = vault = (addr >> self._v_shift) & self._v_mask
-        req.bank = (addr >> self._b_shift) & self._b_mask
-        req.row = addr >> self._r_shift
-        req.column = (addr >> self._c_shift) & self._c_mask
+        req.vault = vault = (addr >> v_shift) & v_mask
+        req.bank = (addr >> b_shift) & b_mask
+        req.row = addr >> r_shift
+        req.column = (addr >> c_shift) & c_mask
         is_write = req.is_write
-        nbytes = self._req_bytes[is_write]
-        link = self.links[vault % self._nlinks]
+        nbytes = req_bytes[is_write]
+        link = links[vault % nlinks]
         d = link.request
         # Fault-free serialization inlined (LinkDirection.send holds the
         # reference semantics and remains the retry/cache-miss slow path).
@@ -142,13 +196,12 @@ class HostController:
         emit = self._emit_link_tx
         if emit is not noop:
             emit(link.link_id, "req", nbytes, now, arrival)
-        self._energy.link_flits += flits
+        energy.link_flits += flits
         if is_write:
-            self._c_writes.value += 1
+            c_writes.value += 1
         else:
-            self._c_reads.value += 1
+            c_reads.value += 1
         # Crossbar traversal inlined the same way (see __init__ mirrors).
-        xbar = self._xbar
         port_busy = xbar._port_busy
         start = port_busy[vault]
         if start > arrival:
@@ -157,7 +210,15 @@ class HostController:
             start = arrival
         port_busy[vault] = start + xbar.port_cycle
         xbar.traversals += 1
-        engine.call_at(start + xbar.latency, self._vault_receive[vault], req)
+        # Engine.call_at inlined (the method stays the reference): the
+        # arrival cycle is structurally >= now, so the past-check is free to
+        # skip; seq draws from the engine counter, keeping order identical.
+        engine._seq = seq = engine._seq + 1
+        heappush(
+            engine._heap,
+            (start + xbar.latency, 0, seq, vault_receive[vault], (req,)),
+        )
+        engine._strong += 1
 
     # ------------------------------------------------------------------
     # Response path (cube -> core)
@@ -171,13 +232,19 @@ class HostController:
         engine = self.engine
         now = engine.now
         t = ready + self._resp_xbar
-        engine.call_at(t if t > now else now, self._tx_response, req)
+        # Engine.call_at inlined (clamped-to-now time can never be past).
+        engine._seq = seq = engine._seq + 1
+        heappush(
+            engine._heap,
+            (t if t > now else now, 0, seq, self._tx_response, (req,)),
+        )
+        engine._strong += 1
 
     def _tx_response(self, req: MemoryRequest) -> None:
-        engine = self.engine
+        engine, resp_bytes, links, nlinks, energy, deliver = self._tx_ctx
         now = engine.now
-        nbytes = self._resp_bytes[req.is_write]
-        link = self.links[req.vault % self._nlinks]
+        nbytes = resp_bytes[req.is_write]
+        link = links[req.vault % nlinks]
         d = link.response
         # Fault-free serialization inlined; same shape as send().
         cached = d._ser_cache.get(nbytes) if d.retry is None else None
@@ -196,18 +263,22 @@ class HostController:
         emit = self._emit_link_tx
         if emit is not noop:
             emit(link.link_id, "resp", nbytes, now, arrival)
-        self._energy.link_flits += flits
-        engine.call_at(arrival, self._deliver, req)
+        energy.link_flits += flits
+        # Engine.call_at inlined (arrival is structurally >= now).
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._heap, (arrival, 0, seq, deliver, (req,)))
+        engine._strong += 1
 
     def _deliver(self, req: MemoryRequest) -> None:
-        now = self.engine.now
+        engine, lat_hist, read_hist, c_done = self._deliver_ctx
+        now = engine.now
         req.complete_cycle = now
-        self._c_done.value += 1
+        c_done.value += 1
         lat = now - req.issue_cycle
         # Histogram.add inlined for the per-delivery samples (Histogram.add
         # holds the reference semantics; identical operation order keeps the
         # Welford running moments bit-identical to the method path).
-        h = self.latency_hist
+        h = lat_hist
         idx = lat // h.bin_width
         nb = h.nbins
         if idx >= nb:
@@ -225,7 +296,7 @@ class HostController:
         if h._max is None or lat > h._max:
             h._max = float(lat)
         if not req.is_write:
-            h = self.read_latency_hist
+            h = read_hist
             idx = lat // h.bin_width
             nb = h.nbins
             if idx >= nb:

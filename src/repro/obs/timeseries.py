@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs.counters import CounterRegistry, _read
+from repro.sim.arrays import BankArrays
 from repro.sim.engine import Engine
 
 Gauge = Callable[[], float]
@@ -130,43 +131,45 @@ class _BankScan:
 
     The standard wiring needs per-vault windowed conflict rates (one series
     per vault) *and* the device-wide access total (the buffer hit-rate
-    denominator), all from the same three bank attributes.  Walking all
-    banks once per tick - computing each vault's epoch delta and appending
-    straight into its series - keeps the tick cost linear in banks instead
-    of gauges x banks and avoids ~3 closure calls per vault per tick; the
-    bench's < 3 % overhead bound depends on it.
+    denominator), all from the same three bank attributes.  The gather and
+    the per-vault fold ride the shared NumPy state-array layer
+    (:class:`repro.sim.arrays.BankArrays`): one outcome gather refills the
+    counter arrays, and the epoch deltas / windowed rates are vectorized
+    instead of re-looped per vault per tick - the bench's < 3 % overhead
+    bound depends on the tick staying linear in banks with the arithmetic
+    in C.  The layer is read-only over simulation state, so sampled runs
+    stay byte-identical to unsampled ones (the module-docstring contract).
     """
 
-    __slots__ = ("_vault_banks", "_series", "_prev_conf", "_prev_acc",
+    __slots__ = ("_arrays", "_series", "_prev_conf", "_prev_acc",
                  "total_accesses")
 
     def __init__(self, vaults: List[Any], series: List[Series]) -> None:
-        self._vault_banks = [vc.banks for vc in vaults]
+        self._arrays = BankArrays(vaults)
         self._series = series
         n = len(vaults)
-        self._prev_conf = [0] * n
-        self._prev_acc = [0] * n
+        self._prev_conf = np.zeros(n, dtype=np.int64)
+        self._prev_acc = np.zeros(n, dtype=np.int64)
         self.total_accesses = 0
         self.tick(None)  # baseline pass: seed prev sums, append nothing
 
     def tick(self, now: Optional[int]) -> None:
-        prev_conf = self._prev_conf
-        prev_acc = self._prev_acc
-        series = self._series
-        total = 0
-        for i, banks in enumerate(self._vault_banks):
-            conf = acc = 0
-            for b in banks:
-                c = b.conflicts
-                conf += c
-                acc += b.hits + b.empties + c
-            if now is not None:
-                da = acc - prev_acc[i]
-                series[i].append(now, (conf - prev_conf[i]) / da if da else 0.0)
-            prev_conf[i] = conf
-            prev_acc[i] = acc
-            total += acc
-        self.total_accesses = total
+        arrays = self._arrays
+        arrays.refresh_outcomes()
+        conf, acc = arrays.vault_outcome_sums()
+        if now is not None:
+            dc = conf - self._prev_conf
+            da = acc - self._prev_acc
+            # int64/int64 -> float64 matches the scalar quotient exactly at
+            # these magnitudes; where= leaves 0.0 for idle vaults.
+            rates = np.divide(
+                dc, da, out=np.zeros(len(da), dtype=np.float64), where=da != 0
+            )
+            for series, rate in zip(self._series, rates.tolist()):
+                series.append(now, rate)
+        self._prev_conf = conf
+        self._prev_acc = acc
+        self.total_accesses = int(acc.sum())
 
 
 class TimeseriesSampler:

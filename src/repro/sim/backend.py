@@ -1,0 +1,189 @@
+"""Engine backend selection: pure Python vs an optional compiled kernel.
+
+The simulation kernel (:mod:`repro.sim.engine`) is written to be
+*mypyc-clean*: hot classes use ``__slots__``/fixed attribute sets, heap
+entries are plain tuples, and the run loop does no dynamic attribute games
+- so the same source compiles ahead-of-time with `mypyc
+<https://mypyc.readthedocs.io/>`_ into a C extension with identical
+semantics.  This module is the seam that picks which incarnation a
+:class:`~repro.system.System` instantiates:
+
+``REPRO_BACKEND=python`` (default)
+    Always the pure-Python kernel.  The benchmark pins
+    (``benchmarks/bench_hotpath.py``) are measured against this backend.
+
+``REPRO_BACKEND=compiled``
+    Prefer the compiled kernel (module ``repro.sim._engine_compiled``,
+    produced by :func:`build`).  When the artifact is missing - mypyc not
+    installed, or the build never ran - the selection **falls back
+    transparently** to pure Python and records a one-line notice; callers
+    (CLI, benches, CI) surface the notice instead of failing.  Digest
+    parity between the two backends is structural: both are the same
+    module source, so event ordering and results are byte-identical - CI
+    asserts it whenever the compiled artifact exists.
+
+``REPRO_BACKEND=auto``
+    Compiled when present, silently python otherwise (no notice).
+
+The seam deliberately selects a *module*, not a class: everything the
+kernel exports (``Engine``, ``Event``) comes from the resolved module, so
+a compiled build accelerates event dispatch for every consumer without a
+single call-site change.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Mapping, Optional
+
+__all__ = [
+    "BACKEND_ENV",
+    "COMPILED_MODULE",
+    "VALID_BACKENDS",
+    "BackendInfo",
+    "resolve",
+    "engine_module",
+    "engine_class",
+    "build",
+]
+
+#: environment variable consulted by :func:`resolve`
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: import name of the mypyc-compiled kernel artifact
+COMPILED_MODULE = "repro.sim._engine_compiled"
+
+VALID_BACKENDS = ("python", "compiled", "auto")
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Outcome of one backend resolution.
+
+    ``requested`` is the (validated) env selection, ``active`` the backend
+    actually in effect, and ``notice`` a single human-readable line when
+    the two differ (the compiled fallback); None otherwise.
+    """
+
+    requested: str
+    active: str
+    notice: Optional[str] = None
+
+
+def _load_compiled() -> Optional[ModuleType]:
+    try:
+        return importlib.import_module(COMPILED_MODULE)
+    except ImportError:
+        return None
+
+
+def resolve(env: Optional[Mapping[str, str]] = None) -> BackendInfo:
+    """Resolve the backend selection from ``env`` (default ``os.environ``).
+
+    Never raises on a missing compiled artifact - ``compiled`` degrades to
+    ``python`` with a notice.  An *unknown* value raises immediately: a
+    typo silently running the slow backend would invalidate measurements.
+    """
+    source = os.environ if env is None else env
+    requested = source.get(BACKEND_ENV, "python").strip().lower() or "python"
+    if requested not in VALID_BACKENDS:
+        raise ValueError(
+            f"{BACKEND_ENV}={requested!r} is not one of {VALID_BACKENDS}"
+        )
+    if requested == "python":
+        return BackendInfo("python", "python")
+    compiled = _load_compiled()
+    if compiled is not None:
+        return BackendInfo(requested, "compiled")
+    if requested == "auto":
+        return BackendInfo("auto", "python")
+    return BackendInfo(
+        "compiled",
+        "python",
+        notice=(
+            f"{BACKEND_ENV}=compiled requested but {COMPILED_MODULE} is not "
+            "built (run `python -m repro.sim.backend --build`; requires "
+            "mypyc); falling back to the pure-Python kernel"
+        ),
+    )
+
+
+def engine_module(env: Optional[Mapping[str, str]] = None) -> ModuleType:
+    """The kernel module for the resolved backend (see :func:`resolve`)."""
+    info = resolve(env)
+    if info.active == "compiled":
+        mod = _load_compiled()
+        assert mod is not None  # resolve() just imported it
+        return mod
+    return importlib.import_module("repro.sim.engine")
+
+
+def engine_class(env: Optional[Mapping[str, str]] = None) -> type:
+    """The ``Engine`` class of the resolved backend.
+
+    ``System``/``FabricSystem`` call this once per construction; the cost
+    is one env read and (at most) one cached module import.
+    """
+    return engine_module(env).Engine
+
+
+# ----------------------------------------------------------------------
+# Build entry point
+# ----------------------------------------------------------------------
+def build(verbose: bool = True) -> bool:
+    """Attempt to compile the kernel with mypyc.  Returns True on success.
+
+    Gracefully reports (and returns False) when mypyc is unavailable -
+    the CI perf-smoke matrix treats that as skip-with-notice, not failure.
+    """
+    try:
+        from mypyc.build import mypycify  # noqa: F401
+    except ImportError:
+        if verbose:
+            print(
+                "mypyc is not installed; compiled backend unavailable "
+                "(pure-Python kernel remains fully supported)"
+            )
+        return False
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    src = os.path.join(os.path.dirname(__file__), "engine.py")
+    with tempfile.TemporaryDirectory() as tmp:
+        # mypyc compiles a module in place under the name it is given; the
+        # artifact is staged under the compiled alias so both incarnations
+        # can coexist (and the pure-Python kernel stays importable).
+        alias = os.path.join(tmp, "_engine_compiled.py")
+        shutil.copyfile(src, alias)
+        rc = subprocess.call(
+            [sys.executable, "-m", "mypyc", alias], cwd=os.path.dirname(__file__)
+        )
+    if verbose:
+        print("mypyc build " + ("succeeded" if rc == 0 else f"failed (rc={rc})"))
+    return rc == 0
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--build", action="store_true", help="compile the kernel with mypyc"
+    )
+    args = parser.parse_args(argv)
+    if args.build:
+        return 0 if build() else 1
+    info = resolve()
+    print(f"requested={info.requested} active={info.active}")
+    if info.notice:
+        print(f"notice: {info.notice}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

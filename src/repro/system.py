@@ -29,6 +29,7 @@ from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
 from repro.hmc.host import HostController
 from repro.request import MemoryRequest
+from repro.sim.backend import engine_class as backend_engine_class
 from repro.sim.engine import Engine
 from repro.sim.sampler import Sampler
 from repro.sim.stats import geomean
@@ -37,6 +38,11 @@ from repro.workloads.trace import Trace
 
 class DirectPort(MemoryPort):
     """Post-LLC front-end: every trace record is one HMC transaction."""
+
+    #: The host delivers the same request object to ``on_fill`` that this
+    #: port created, so per-load context can ride on ``req.meta`` and the
+    #: core can reuse one bound fill method instead of a closure per load.
+    fill_via_meta = True
 
     def __init__(self, host: HostController, engine: Engine) -> None:
         self.host = host
@@ -47,6 +53,7 @@ class DirectPort(MemoryPort):
         core_id: int,
         addr: int,
         on_fill: Callable[[MemoryRequest], None],
+        meta: Optional[Any] = None,
     ) -> Optional[int]:
         # MemoryRequest.acquire inlined: this runs once per traced load and
         # the classmethod frame was visible in the hot-loop profile.
@@ -62,6 +69,7 @@ class DirectPort(MemoryPort):
             req.callback = on_fill
         else:
             req = MemoryRequest(addr, False, core_id, self.engine.now, on_fill)
+        req.meta = meta
         self.host.send(req)
         return None
 
@@ -93,7 +101,11 @@ class HierarchyPort(MemoryPort):
         core_id: int,
         addr: int,
         on_fill: Callable[[MemoryRequest], None],
+        meta: Optional[Any] = None,
     ) -> Optional[int]:
+        # meta is unused: MSHR merging means the request delivered to
+        # on_fill may not be the one this load created, so context cannot
+        # ride on it (fill_via_meta stays False).
         res = self.hierarchy.access(core_id, addr, is_write=False, on_fill=on_fill)
         if res.level == "MEM":
             return None
@@ -199,7 +211,10 @@ class System:
             raise ValueError("need at least one core trace")
         self.config = config or SystemConfig()
         self.workload = workload
-        self.engine = Engine()
+        # Backend seam: REPRO_BACKEND picks the kernel incarnation (pure
+        # Python, or the mypyc-compiled artifact when built); see
+        # repro.sim.backend for the fallback contract.
+        self.engine = backend_engine_class()()
         self.device = HMCDevice(
             self.config.hmc,
             self.engine,

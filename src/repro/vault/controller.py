@@ -24,6 +24,7 @@ request regardless of queue depth.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, List, Optional
 
 from repro.core.buffer import PrefetchBuffer
@@ -60,7 +61,7 @@ class VaultController:
         self.vault_id = vault_id
         self.config = config
         self.engine = engine
-        self.respond_fn = respond_fn
+        self._respond_fn = respond_fn
         # All banks in a vault share one TSV data bundle to the logic base;
         # whole-row prefetch transfers and demand bursts contend for it.
         self.tsv_bus = TsvBus(vault_id)
@@ -110,6 +111,37 @@ class VaultController:
         self._c_writebacks = self.stats.counter("dirty_row_writebacks")
         self._wake: Optional[Event] = None
         self._inflight = 0  # bank accesses with a pending completion event
+        # _try_issue context pack: every object here is bound once (at
+        # construction) and only ever mutated in place, so the tuple stays
+        # current; one attribute read + a C-level unpack replaces a dozen
+        # attribute chains in the issue-loop prologue.
+        q = self.queues
+        sched = self.scheduler
+        self._issue_ctx = (
+            sched,
+            sched._pick,
+            q.reads_by_bank,
+            q.writes_by_bank,
+            q.reads_by_row,
+            q.writes_by_row,
+            q.writes,
+            sched.write_low,
+            sched.write_high,
+            self.banks,
+            engine._heap,
+            q.promote,
+            self._access_done,
+            q.remove,
+        )
+        self._wake_ctx = (
+            engine,
+            q.reads_by_bank,
+            q.writes_by_bank,
+            self.banks,
+            engine._heap,
+            self._wake_fired,
+        )
+        self._rebuild_hot_ctx()
         if config.refresh_enabled:
             # Stagger per-bank refreshes across the tREFI window so the
             # vault never refreshes every bank at once.
@@ -148,18 +180,66 @@ class VaultController:
     # ------------------------------------------------------------------
     # External interface (called by the HMC device)
     # ------------------------------------------------------------------
+    @property
+    def respond_fn(self) -> RespondFn:
+        return self._respond_fn
+
+    @respond_fn.setter
+    def respond_fn(self, fn: RespondFn) -> None:
+        # The host rewires the completion path after construction
+        # (HMCDevice.set_deliver_fn); the hot-path context packs embed the
+        # fn, so they are rebuilt on every rebind.
+        self._respond_fn = fn
+        self._rebuild_hot_ctx()
+
+    def _rebuild_hot_ctx(self) -> None:
+        """(Re)build the receive/_access_done context packs.
+
+        Everything else in the packs is bound once at construction and only
+        mutated in place; ``respond_fn`` is the one late-bound member.
+        """
+        buf = self.buffer
+        self._recv_ctx = (
+            self.engine,
+            buf,
+            buf._entries if buf is not None else None,
+            self._pf_hit_latency,
+            self._respond_fn,
+            self.queues.admit,
+            self._c_buf_hits,
+            self._c_buf_inflight,
+            self._on_buffer_hit,
+        )
+        self._done_ctx = (
+            self.engine,
+            self.prefetcher.on_demand_access,
+            self._respond_fn,
+            self._c_reads,
+            self._c_writes,
+        )
+
     def receive(self, req: MemoryRequest) -> None:
         """A request packet arrived from the crossbar at ``engine.now``."""
-        now = self.engine.now
+        (
+            engine,
+            buf,
+            buf_entries,
+            pf_hit_latency,
+            respond_fn,
+            admit,
+            c_buf_hits,
+            c_buf_inflight,
+            obh,
+        ) = self._recv_ctx
+        now = engine.now
         req.vault_arrive_cycle = now
-        buf = self.buffer
         if buf is not None:
             # PrefetchBuffer.lookup inlined (buffer.py keeps the reference
             # implementation): the probe runs once per demand packet, and
             # the miss half is one dict get plus a bit test.  ``_entries``
             # is bound once in PrefetchBuffer.__init__ and only mutated in
             # place, so probing it directly is safe.
-            entry = buf._entries.get((req.bank, req.row))
+            entry = buf_entries.get((req.bank, req.row))
             bit = 1 << req.column
             if entry is None or not (entry.valid_mask & bit):
                 buf.misses += 1
@@ -179,10 +259,10 @@ class VaultController:
                 in_flight = ready > now
                 if in_flight:
                     req.source = ServiceSource.ROW_IN_FLIGHT
-                    self._c_buf_inflight.value += 1
+                    c_buf_inflight.value += 1
                 else:
                     req.source = ServiceSource.PREFETCH_BUFFER
-                self._c_buf_hits.value += 1
+                c_buf_hits.value += 1
                 emit = self._emit_pf_hit
                 if emit is not noop:
                     emit(
@@ -193,13 +273,12 @@ class VaultController:
                         now,
                         in_flight=in_flight,
                     )
-                obh = self._on_buffer_hit
                 if obh is not None:
                     obh(req.bank, req.row, req.column, req.is_write, now)
-                serve = (ready if ready > now else now) + self._pf_hit_latency
-                self.respond_fn(req, serve)
+                serve = (ready if ready > now else now) + pf_hit_latency
+                respond_fn(req, serve)
                 return
-        self.queues.admit(req)
+        admit(req)
         self._try_issue()
 
     def pending_row_requests(self, bank: int, row: int) -> int:
@@ -228,10 +307,27 @@ class VaultController:
     def _try_issue(self) -> None:
         engine = self.engine
         now = engine.now
-        q = self.queues
-        sched = self.scheduler
-        rbb = q.reads_by_bank
-        wbb = q.writes_by_bank
+        # FRFCFSScheduler.next_request inlined below (the scheduler keeps the
+        # reference implementation and the public API): at one frame per
+        # issue slot plus one per exhausted scan, the method call itself was
+        # the last per-issue overhead left in this loop.  See _issue_ctx for
+        # why the packed aliases stay current.
+        (
+            sched,
+            pick,
+            rbb,
+            wbb,
+            rbr,
+            wbr,
+            writes_q,
+            wlow,
+            whigh,
+            banks,
+            heap,
+            promote,
+            access_done,
+            remove,
+        ) = self._issue_ctx
         if not rbb and not wbb:
             # Nothing queued: no pick, no promote (staging implies a full
             # queue), no wake to arm.  Only a pending write-drain *exit* can
@@ -240,23 +336,7 @@ class VaultController:
             if sched.draining:
                 sched._update_drain_state(now)
             return
-        # FRFCFSScheduler.next_request inlined below (the scheduler keeps the
-        # reference implementation and the public API): at one frame per
-        # issue slot plus one per exhausted scan, the method call itself was
-        # the last per-issue overhead left in this loop.  The bucket dicts
-        # and write deque are bound once in VaultQueues.__init__ and only
-        # ever mutated in place, so the local aliases stay current.
-        pick = sched._pick
-        rbr = q.reads_by_row
-        wbr = q.writes_by_row
-        writes_q = q.writes
-        wlow = sched.write_low
-        whigh = sched.write_high
-        banks = self.banks
-        call_at = engine.call_at
-        promote = q.promote
-        access_done = self._access_done
-        remove = q.remove
+        q = self.queues
         read, write = AccessKind.READ, AccessKind.WRITE
         issued = 0
         while True:
@@ -269,14 +349,55 @@ class VaultController:
                     sched._update_drain_state(now)
             elif pending_writes >= whigh:
                 sched._update_drain_state(now)
+            # FRFCFSScheduler._pick fused into the loop (the scheduler keeps
+            # the reference implementation): oldest ready row-hit, else
+            # oldest ready, scanning only banks with pending work.  Two
+            # copies - preferred direction then fallback - so no per-slot
+            # direction tuples are built.
             if sched.draining:
-                req = pick(wbb, wbr, now) if wbb else None
-                if req is None and rbb:
-                    req = pick(rbb, rbr, now)
+                by_bank, by_row = wbb, wbr
             else:
-                req = pick(rbb, rbr, now) if rbb else None
-                if req is None and wbb:
-                    req = pick(wbb, wbr, now)
+                by_bank, by_row = rbb, rbr
+            req = best_ready = None
+            for bank_id, bucket in by_bank.items():
+                bank = banks[bank_id]
+                if bank.busy_until > now:
+                    continue
+                open_row = bank.open_row
+                if open_row is not None:
+                    hits = by_row.get((bank_id, open_row))
+                    if hits is not None:
+                        cand = hits[0]
+                        if req is None or cand.qseq < req.qseq:
+                            req = cand
+                        continue
+                cand = bucket[0]
+                if best_ready is None or cand.qseq < best_ready.qseq:
+                    best_ready = cand
+            if req is None:
+                req = best_ready
+            if req is None:
+                if sched.draining:
+                    by_bank, by_row = rbb, rbr
+                else:
+                    by_bank, by_row = wbb, wbr
+                for bank_id, bucket in by_bank.items():
+                    bank = banks[bank_id]
+                    if bank.busy_until > now:
+                        continue
+                    open_row = bank.open_row
+                    if open_row is not None:
+                        hits = by_row.get((bank_id, open_row))
+                        if hits is not None:
+                            cand = hits[0]
+                            if req is None or cand.qseq < req.qseq:
+                                req = cand
+                            continue
+                    cand = bucket[0]
+                    if best_ready is None or cand.qseq < best_ready.qseq:
+                        best_ready = cand
+                if req is None:
+                    req = best_ready
             if req is None:
                 break
             # NOTE: the buffer is probed at request *arrival* only (receive).
@@ -292,7 +413,12 @@ class VaultController:
             remove(req)
             result = bank.access(write if req.is_write else read, req.row, now)
             issued += 1
-            call_at(result.finish, access_done, req, result, priority=-1)
+            # Engine.call_at inlined (the method stays the reference):
+            # result.finish is structurally >= now, priority -1 orders the
+            # completion ahead of same-cycle arrivals exactly as before.
+            engine._seq = seq = engine._seq + 1
+            heappush(heap, (result.finish, -1, seq, access_done, (req, result)))
+            engine._strong += 1
             if q.staging:
                 promote()
             if not rbb and not wbb:
@@ -313,29 +439,53 @@ class VaultController:
         needed while banks are busy solely due to prefetch transfers (which
         have no completion events) - so the timer is armed unconditionally.
         """
-        q = self.queues
-        rb = q.reads_by_bank
-        wb = q.writes_by_bank
+        engine, rb, wb, banks, heap, wake_fired = self._wake_ctx
         if not rb and not wb:
             return  # nothing queued: earliest_wakeup would return None
         # earliest_wakeup inlined (FRFCFSScheduler.earliest_wakeup holds the
         # reference semantics): soonest busy-until among banks with work,
         # None-equivalent bail-out when some such bank is already idle.
-        now = self.engine.now
-        banks = self.banks
+        now = engine.now
         t = None
-        for by_bank in (rb, wb):
-            for bank_id in by_bank:
-                b = banks[bank_id].busy_until
-                if b <= now:
-                    return  # issueable right now; no timer needed
-                if t is None or b < t:
-                    t = b
-        if self._wake is not None and not self._wake.cancelled:
-            if self._wake.time <= t:
+        for bank_id in rb:
+            b = banks[bank_id].busy_until
+            if b <= now:
+                return  # issueable right now; no timer needed
+            if t is None or b < t:
+                t = b
+        for bank_id in wb:
+            b = banks[bank_id].busy_until
+            if b <= now:
                 return
-            self._wake.cancel()
-        self._wake = self.engine.schedule_at(t, self._wake_fired, priority=1)
+            if t is None or b < t:
+                t = b
+        wake = self._wake
+        if wake is not None and not wake.cancelled:
+            if wake.time <= t:
+                return
+            wake.cancel()
+        # Engine.schedule_at inlined (the method stays the reference).  This
+        # is the one hot site that needs a *cancellable* handle (the
+        # cancel-then-reschedule pattern above), so it walks the Event pool
+        # exactly as schedule_at does; t > now structurally - every bank
+        # considered had busy_until > now.
+        engine._seq = seq = engine._seq + 1
+        pool = engine._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = t
+            ev.priority = 1
+            ev.seq = seq
+            ev.fn = wake_fired
+            ev.args = ()
+            ev.cancelled = False
+            ev.fired = False
+            ev.weak = False
+        else:
+            ev = Event(t, 1, seq, wake_fired, (), engine=engine)
+        heappush(heap, (t, 1, seq, ev))
+        engine._strong += 1
+        self._wake = ev
 
     def _wake_fired(self) -> None:
         self._wake = None
@@ -345,22 +495,23 @@ class VaultController:
     # Completion + prefetch execution
     # ------------------------------------------------------------------
     def _access_done(self, req: MemoryRequest, result: AccessResult) -> None:
-        now = self.engine.now
+        engine, on_demand_access, respond_fn, c_reads, c_writes = self._done_ctx
+        now = engine.now
         self._inflight -= 1
         if req.is_write:
-            self._c_writes.value += 1
+            c_writes.value += 1
         else:
-            self._c_reads.value += 1
+            c_reads.value += 1
         req.source = ServiceSource.BANK
 
-        actions = self.prefetcher.on_demand_access(
+        actions = on_demand_access(
             req.bank, req.row, req.column, req.is_write, result.outcome, now
         )
         if actions:
             for action in actions:
                 self._execute_prefetch(action, now)
 
-        self.respond_fn(req, now)
+        respond_fn(req, now)
         self._try_issue()
 
     def _execute_prefetch(self, action: PrefetchAction, now: int) -> None:

@@ -1,0 +1,176 @@
+"""Property tests: the batched fast loop is observationally identical to
+the serial heap.
+
+``Engine.run()`` with no limit/spans/watchdog takes the cohort-dispatch
+fast loop (with time-warp clock jumps); ``run(max_events=1)`` in a step
+loop forces the general serial loop.  Both must fire the same callbacks in
+the same ``(time, priority, seq)`` order with the same clock readings -
+including schedules generated *inside* callbacks (same-cycle reentrancy)
+and cancellations.  Hypothesis drives randomized schedules at both
+entry points and compares full observation logs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+# One scheduled call: (delay, priority, weak, reentry_spec) where
+# reentry_spec is None or (extra_delay, extra_priority) scheduled from
+# inside the callback (extra_delay 0 = same-cycle reentrancy).
+_CALL = st.tuples(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=-2, max_value=2),
+    st.booleans(),
+    st.one_of(
+        st.none(),
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=-2, max_value=2),
+        ),
+    ),
+)
+
+_SCHEDULE = st.lists(_CALL, min_size=1, max_size=40)
+
+#: indices (mod schedule length) of handled events to cancel before running
+_CANCELS = st.lists(st.integers(min_value=0, max_value=39), max_size=10)
+
+
+def _run_trace(schedule, cancels, serial: bool):
+    """Build an engine from ``schedule``, run it, return the observation
+    log: (tag, engine.now) per fired callback, plus the final clock."""
+    eng = Engine()
+    log = []
+
+    def make_cb(tag, reentry):
+        def cb():
+            log.append((tag, eng.now))
+            if reentry is not None:
+                extra_delay, extra_prio = reentry
+                eng.call_at(
+                    eng.now + extra_delay,
+                    lambda t=f"{tag}+r": log.append((t, eng.now)),
+                    priority=extra_prio,
+                )
+
+        return cb
+
+    handles = []
+    for i, (delay, prio, weak, reentry) in enumerate(schedule):
+        cb = make_cb(f"cb{i}", reentry)
+        if i % 3 == 0:
+            # handled event (cancellable)
+            handles.append(eng.schedule(delay, cb, priority=prio, weak=weak))
+        elif i % 3 == 1:
+            eng.call_at(delay, cb, priority=prio, weak=weak)
+        else:
+            eng.schedule_at(delay, cb, priority=prio)
+    for c in cancels:
+        if handles:
+            handles[c % len(handles)].cancel()
+    if serial:
+        while eng.run(max_events=1):
+            pass
+    else:
+        eng.run()
+    return log, eng.now, eng.events_fired, eng.idle_cycles_skipped
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=_SCHEDULE, cancels=_CANCELS)
+def test_fast_loop_matches_serial_heap(schedule, cancels):
+    fast = _run_trace(schedule, cancels, serial=False)
+    serial = _run_trace(schedule, cancels, serial=True)
+    assert fast[0] == serial[0], "fire order/clock diverged"
+    assert fast[1] == serial[1], "final clock diverged"
+    assert fast[2] == serial[2], "events_fired diverged"
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule=_SCHEDULE)
+def test_warp_accounting_matches_serial(schedule):
+    """idle_cycles_skipped is identical between the loops: the fast loop's
+    per-cohort warp accounting equals the serial loop's per-event one."""
+    fast = _run_trace(schedule, [], serial=False)
+    serial = _run_trace(schedule, [], serial=True)
+    assert fast[3] == serial[3]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(
+        st.integers(min_value=0, max_value=10), min_size=1, max_size=20
+    )
+)
+def test_same_cycle_cascade(delays):
+    """Chains that keep scheduling same-cycle work drain in seq order in
+    both loops (the cohort peek must track the live heap, not a snapshot)."""
+
+    def run(serial):
+        eng = Engine()
+        log = []
+
+        def chain(depth):
+            log.append((depth, eng.now))
+            if depth < 3:
+                # same cycle, lower priority than the default: sorts ahead
+                # of everything else pending at this cycle
+                eng.call_at(eng.now, chain, depth + 1, priority=-1)
+
+        for d in delays:
+            eng.schedule(d, chain, 0)
+        if serial:
+            while eng.run(max_events=1):
+                pass
+        else:
+            eng.run()
+        return log, eng.events_fired
+
+    assert run(False) == run(True)
+
+
+def test_cancelled_cohort_member_is_skipped():
+    """A cancel between scheduling and firing must drop the event in both
+    loops, even mid-cohort."""
+
+    def run(serial):
+        eng = Engine()
+        log = []
+        eng.schedule(5, log.append, "a")
+        victim = eng.schedule(5, log.append, "victim")
+        eng.schedule(5, log.append, "b")
+        eng.schedule(0, victim.cancel)
+        if serial:
+            while eng.run(max_events=1):
+                pass
+        else:
+            eng.run()
+        return log
+
+    assert run(False) == run(True) == ["a", "b"]
+
+
+def test_weak_only_tail_stops_both_loops():
+    def run(serial):
+        eng = Engine()
+        log = []
+        eng.schedule(1, log.append, "strong")
+
+        def rearm():
+            log.append("weak")
+            eng.call_at(eng.now + 1, rearm, weak=True)
+
+        eng.call_at(3, rearm, weak=True)
+        if serial:
+            while eng.run(max_events=1):
+                pass
+        else:
+            eng.run()
+        return log, eng.now
+
+    fast, serial = run(False), run(True)
+    assert fast == serial
+    assert fast[0] == ["strong"]  # the weak self-rearm never fires
