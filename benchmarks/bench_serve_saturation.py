@@ -52,6 +52,7 @@ from repro.serve import (  # noqa: E402
     ServeConfig,
     ServeService,
     cell_from_spec,
+    nearest_rank,
 )
 from repro.system import SimulationResult  # noqa: E402
 
@@ -135,6 +136,38 @@ def _merged_digest(manifest_path, cell_ids) -> str:
     return matrix_digest(matrix)
 
 
+def _hist_quantile(snap: Optional[Dict[str, object]], q: float) -> Optional[float]:
+    """Reconstruct a quantile from a LogHistogram snapshot (cumulative buckets)."""
+    if not snap:
+        return None
+    count = int(snap.get("count", 0) or 0)
+    if count <= 0:
+        return None
+    rank = nearest_rank(q, count)
+    observed_max = float(snap.get("max", 0.0) or 0.0)
+    for bucket in snap.get("buckets", []):
+        if int(bucket["count"]) > rank:
+            le = float(bucket["le"])
+            return min(le, observed_max) if observed_max else le
+    return observed_max
+
+
+def _client_queue_p99(infos: List[Dict[str, object]]) -> Optional[float]:
+    """p99 of per-cell queue-stage dwell as reported in job info spans."""
+    ages = [
+        float(stages["queue"])
+        for info in infos
+        for entry in info.get("cells", {}).values()
+        if isinstance(entry, dict)
+        for stages in [entry.get("stages") or {}]
+        if stages.get("queue") is not None
+    ]
+    if not ages:
+        return None
+    ages.sort()
+    return ages[nearest_rank(0.99, len(ages))]
+
+
 def _serial_digest(specs, tmp_path: Path) -> str:
     result = run_campaign(
         [cell_from_spec(s) for s in specs],
@@ -181,8 +214,15 @@ def measure(threads: int, jobs_per_thread: int, workdir: Path) -> Dict[str, obje
         probe = client.submit(cells=list(PROBE_SPECS))
         probe_info = client.wait(probe["job"], timeout=600.0, poll=0.1)
         probe_ids = sorted(probe_info["cells"])
+        # server-side view, fetched while the service is still alive
+        admission = client.snapshot()["serve"]["admission"]
     finally:
         svc.stop()
+
+    queue_age_p99 = _hist_quantile(
+        (admission.get("queue_age") or {}).get("quick"), 0.99
+    )
+    client_queue_p99 = _client_queue_p99(infos + [probe_info])
 
     spec_by_id = {cell_from_spec(s).cell_id: s for s in specs}
     serve_digest = _merged_digest(manifest, executed_ids)
@@ -210,6 +250,12 @@ def measure(threads: int, jobs_per_thread: int, workdir: Path) -> Dict[str, obje
             if stats.retry_afters
             else None
         ),
+        "queue_age_p99_s": (
+            round(queue_age_p99, 4) if queue_age_p99 is not None else None
+        ),
+        "client_queue_p99_s": (
+            round(client_queue_p99, 4) if client_queue_p99 is not None else None
+        ),
         "submit_wall_s": round(submit_wall, 4),
         "drain_wall_s": round(drain_wall, 4),
         "cells_per_sec": round(accepted_cells / drain_wall, 4),
@@ -233,6 +279,7 @@ def _record_history(quick: bool, calib: float, sample: Dict[str, object],
         "accepted_jobs": sample["accepted_jobs"],
         "shed": sample["shed"],
         "p99_submit_s": sample["p99_submit_s"],
+        "queue_age_p99_s": sample["queue_age_p99_s"],
         "cells_per_sec": sample["cells_per_sec"],
     }
     if mode:
@@ -261,6 +308,21 @@ def _assert_contract(sample: Dict[str, object]) -> List[str]:
         problems.append("merged manifest != serial digest for executed cells")
     if not sample["probe_parity"]:
         problems.append("probe grid digest != serial digest")
+    server_p99 = sample.get("queue_age_p99_s")
+    client_p99 = sample.get("client_queue_p99_s")
+    if server_p99 is None:
+        problems.append("server reported no queue-age histogram for the quick lane")
+    elif client_p99 is not None:
+        # the histogram p99 is a bucket upper bound clamped to the observed
+        # max, so it sits at or above the exact sample quantile; generous
+        # both-direction tolerance absorbs bucket width and lane skew
+        low = float(client_p99) / 4.0 - 0.25
+        high = float(client_p99) * 4.0 + 0.25
+        if not (low <= float(server_p99) <= high):
+            problems.append(
+                f"server queue-age p99 {server_p99}s disagrees with "
+                f"client-observed {client_p99}s (tolerance [{low:.3f}, {high:.3f}])"
+            )
     return problems
 
 
@@ -278,6 +340,10 @@ def _print_sample(sample: Dict[str, object]) -> None:
         f"submit p50 {_fmt(sample['p50_submit_s'], '.4f')}s  "
         f"p99 {_fmt(sample['p99_submit_s'], '.4f')}s  "
         f"mean retry_after {_fmt(sample['mean_retry_after_s'], '.2f')}s"
+    )
+    print(
+        f"queue-age p99 {_fmt(sample['queue_age_p99_s'], '.4f')}s server-side "
+        f"vs {_fmt(sample['client_queue_p99_s'], '.4f')}s client-observed"
     )
     print(
         f"drained in {sample['drain_wall_s']:.2f}s "

@@ -58,10 +58,11 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 
-#: non-terminal record kinds (work-stealing queue overlay)
+#: non-terminal record kinds (work-stealing queue overlay + tracing)
 KIND_HEADER = "header"
 KIND_CLAIM = "claim"
 KIND_TICK = "tick"
+KIND_SPAN = "span"
 
 
 @dataclass
@@ -111,6 +112,10 @@ class ClaimRecord:
     clock: int
     lease: int
     spec: Optional[dict] = None
+    #: trace id of the submission that created the cell (repro.obs.spans).
+    #: Carried in the claim so a *stolen* cell keeps its trace across
+    #: processes and restarts; optional and ignored by older readers.
+    trace: Optional[str] = None
 
     def beats(self, other: Optional["ClaimRecord"]) -> bool:
         """Claim-conflict resolution: higher (gen, clock, worker) wins."""
@@ -246,6 +251,7 @@ class Manifest:
                     pass
                 continue
             if kind == KIND_CLAIM:
+                trace = raw.get("trace")
                 try:
                     claim = ClaimRecord(
                         cell_id=raw["cell_id"],
@@ -254,6 +260,7 @@ class Manifest:
                         clock=int(raw["clock"]),
                         lease=int(raw["lease"]),
                         spec=raw.get("spec"),
+                        trace=trace if isinstance(trace, str) else None,
                     )
                 except (KeyError, TypeError, ValueError):
                     continue
@@ -335,7 +342,21 @@ class Manifest:
         }
         if claim.spec is not None:
             payload["spec"] = claim.spec
+        if claim.trace is not None:
+            payload["trace"] = claim.trace
         self._append_line(payload, durable=True)
+
+    def append_span(self, payload: dict) -> None:
+        """Append one tracing span record (:mod:`repro.obs.spans`).
+
+        Spans are observability, not state: flushed but never fsynced (a
+        crash loses at most the in-flight span), invisible to
+        :meth:`records`/:meth:`scan` merging, and safe to interleave from
+        many writers like every other overlay record.
+        """
+        if payload.get("kind") != KIND_SPAN:
+            payload = {**payload, "kind": KIND_SPAN}
+        self._append_line(payload, durable=False)
 
     def append_tick(
         self, worker: str, clock: int, gen: Optional[int] = None

@@ -590,6 +590,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         worker_name=args.name,
         use_cache=not args.no_cache,
         exit_when_complete=args.exit_when_complete,
+        spans=not args.no_spans,
+        report_dir=args.report_dir,
     )
     return run_serve(cfg)
 
@@ -622,7 +624,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         grid["drop"] = args.drop
     try:
         out = client.submit(
-            grid=grid, lane=args.lane, deadline_s=args.deadline
+            grid=grid,
+            lane=args.lane,
+            deadline_s=args.deadline,
+            traceparent=args.traceparent,
         )
     except Shed as exc:
         print(f"submit: shed by admission control; retry in "
@@ -633,6 +638,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
         return 75
     print(f"job {out['job']}: {len(out['cells'])} cells "
           f"({out['lane']} lane) -> {args.url}")
+    if out.get("trace"):
+        print(f"  trace {out['trace']} (repro trace <manifest> "
+              f"--trace-id {out['trace']})")
     if not args.wait:
         return 0
     info = client.wait(out["job"], timeout=args.wait_timeout)
@@ -643,6 +651,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     ]
     print(f"job {out['job']}: {info['status']} "
           f"({info['done']}/{info['total']} cells, {len(bad)} failed)")
+    if info.get("critical_path_text"):
+        print(f"  critical path: {info['critical_path_text']}")
     if args.json:
         print(json.dumps(info))
     for cid, entry in bad:
@@ -887,11 +897,62 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_manifest(args: argparse.Namespace) -> int:
+    """Span-timeline mode of ``repro trace``: read service spans out of a
+    campaign manifest, print per-trace critical-path attribution, and
+    optionally merge them with simulator Chrome traces into one timeline.
+    """
+    from repro.obs.spans import (
+        attribution,
+        critical_path_text,
+        merge_chrome,
+        read_spans,
+        spans_to_chrome,
+    )
+
+    spans = read_spans(args.benchmark, trace_id=args.trace_id)
+    if args.cell:
+        spans = [s for s in spans if s.cell_id == args.cell]
+    if not spans:
+        where = f" for trace {args.trace_id}" if args.trace_id else ""
+        print(f"trace: no spans in {args.benchmark}{where}", file=sys.stderr)
+        return 1
+    by_trace: dict = {}
+    for span in spans:
+        stages = by_trace.setdefault(span.trace_id, {})
+        stages[span.name] = stages.get(span.name, 0.0) + span.dur
+    workers = sorted({s.worker for s in spans if s.worker})
+    print(
+        f"{args.benchmark}: {len(spans)} spans, {len(by_trace)} traces, "
+        f"{len(workers)} workers ({', '.join(workers)})"
+    )
+    for tid, stages in sorted(by_trace.items()):
+        path = critical_path_text(attribution(stages))
+        print(f"  {tid}  {path or '(instant spans only)'}")
+    if args.out:
+        sims = []
+        for sim_path in args.sim or []:
+            try:
+                with open(sim_path) as fh:
+                    sims.append(json.load(fh))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"trace: skipping sim trace {sim_path}: {exc}",
+                      file=sys.stderr)
+        merged = merge_chrome(spans_to_chrome(spans), sims)
+        with open(args.out, "w") as fh:
+            json.dump(merged, fh)
+        print(f"  wrote {args.out} ({len(merged['traceEvents'])} events; "
+              f"open in ui.perfetto.dev)")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.benchmark not in PROFILES and os.path.exists(args.benchmark):
+        return _trace_manifest(args)
     if args.benchmark not in PROFILES:
         raise SystemExit(
-            f"unknown benchmark {args.benchmark!r}; "
-            f"available: {', '.join(sorted(PROFILES))}"
+            f"unknown benchmark {args.benchmark!r} (and no such manifest "
+            f"file); available: {', '.join(sorted(PROFILES))}"
         )
     trace = generate_trace(args.benchmark, args.refs, seed=args.seed)
     stats = trace_stats(trace)
@@ -1136,6 +1197,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet mode: exit once every claimed cell in the manifest is "
         "terminal (used by headless peers)",
     )
+    p_srv.add_argument(
+        "--no-spans", dest="no_spans", action="store_true",
+        help="disable causal span tracing (no span records in the manifest)",
+    )
+    p_srv.add_argument(
+        "--report-dir", dest="report_dir", default=None, metavar="DIR",
+        help="write per-cell RunReport artifacts here and serve them via "
+        "GET /jobs/<id>/report and /jobs/<id>/dash.html",
+    )
     p_srv.set_defaults(fn=cmd_serve)
 
     p_sub = sub.add_parser(
@@ -1159,6 +1229,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--deadline", type=float, default=None,
                        help="seconds after which still-queued cells of this "
                        "job are abandoned")
+    p_sub.add_argument("--traceparent", default=None,
+                       help="W3C traceparent (or bare hex trace id) to join "
+                       "this submission to an existing trace")
     p_sub.add_argument("--wait", action="store_true",
                        help="block until the job is terminal; exit non-zero "
                        "on any failed cell")
@@ -1246,11 +1319,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_s = sub.add_parser("schemes", help="list prefetching schemes")
     p_s.set_defaults(fn=cmd_schemes)
 
-    p_tr = sub.add_parser("trace", help="generate and inspect a synthetic trace")
-    p_tr.add_argument("benchmark")
+    p_tr = sub.add_parser(
+        "trace",
+        help="inspect a synthetic trace (benchmark name) or a service "
+        "span timeline (manifest path)",
+    )
+    p_tr.add_argument(
+        "benchmark",
+        help="benchmark name (synthetic-trace mode) or a campaign manifest "
+        "path (span-timeline mode)",
+    )
     p_tr.add_argument("--refs", type=int, default=10_000)
     p_tr.add_argument("--seed", type=int, default=1)
-    p_tr.add_argument("--out", help="save the trace as .npz")
+    p_tr.add_argument(
+        "--out",
+        help="save the synthetic trace (.npz) or, in span-timeline mode, "
+        "the merged Chrome trace-event JSON",
+    )
+    p_tr.add_argument(
+        "--trace-id", dest="trace_id", default=None,
+        help="span-timeline mode: only this trace id",
+    )
+    p_tr.add_argument(
+        "--cell", default=None,
+        help="span-timeline mode: only spans of this cell id",
+    )
+    p_tr.add_argument(
+        "--sim", action="append", metavar="PATH",
+        help="span-timeline mode: merge a simulator Chrome trace "
+        "(repro run --trace) into the same timeline; repeatable",
+    )
     p_tr.set_defaults(fn=cmd_trace)
 
     return parser

@@ -46,6 +46,18 @@ from repro.obs.report import (
     has_series,
 )
 from repro.obs.promtext import parse_exposition, render_metrics
+from repro.obs.spans import (
+    Span,
+    SpanLog,
+    attribution,
+    critical_path_text,
+    format_traceparent,
+    merge_chrome,
+    mint_trace_id,
+    parse_traceparent,
+    read_spans,
+    spans_to_chrome,
+)
 from repro.obs.telemetry import (
     CampaignView,
     JsonlTailer,
@@ -92,6 +104,16 @@ __all__ = [
     "spool_dir_for",
     "render_metrics",
     "parse_exposition",
+    "Span",
+    "SpanLog",
+    "attribution",
+    "critical_path_text",
+    "format_traceparent",
+    "merge_chrome",
+    "mint_trace_id",
+    "parse_traceparent",
+    "read_spans",
+    "spans_to_chrome",
     "append_entry",
     "load_history",
     "trend_report",

@@ -7,8 +7,11 @@ text exposition format (version 0.0.4) served at ``/metrics``.
 CI smoke job to assert the output is actually scrapeable — every sample line
 must match the exposition grammar and agree with its ``# TYPE`` declaration.
 
-All metrics are gauges (campaign state is a snapshot, and counters reset
-when a campaign restarts); the ``repro_`` prefix namespaces them.
+Most metrics are gauges (campaign state is a snapshot, and counters reset
+when a campaign restarts); the serve layer's queue-age and service-time
+distributions render as real Prometheus *histogram* families — cumulative
+``_bucket{le=...}`` series ending in the mandatory ``+Inf`` bucket plus
+``_sum``/``_count``.  The ``repro_`` prefix namespaces everything.
 """
 
 from __future__ import annotations
@@ -64,29 +67,53 @@ def _sanitize(name: str) -> str:
 class _Family:
     """One metric family: HELP/TYPE header plus its sample lines."""
 
-    def __init__(self, name: str, help_text: str) -> None:
+    def __init__(self, name: str, help_text: str, kind: str = "gauge") -> None:
         self.name = name
         self.help = help_text
+        self.kind = kind
         self.samples: List[str] = []
+
+    @staticmethod
+    def _labels(labels: Dict[str, str]) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(
+            f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+        )
+        return "{" + inner + "}"
 
     def add(self, value: object, labels: Optional[Dict[str, str]] = None) -> None:
         text = _fmt_value(value)
         if text is None:
             return
-        if labels:
-            inner = ",".join(
-                f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
-            )
-            self.samples.append(f"{self.name}{{{inner}}} {text}")
-        else:
-            self.samples.append(f"{self.name} {text}")
+        self.samples.append(f"{self.name}{self._labels(labels or {})} {text}")
+
+    def add_histogram(
+        self, snap: dict, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """One histogram series from a :meth:`LogHistogram.snapshot
+        <repro.serve.admission.LogHistogram.snapshot>` dict: cumulative
+        ``_bucket`` lines (``+Inf`` last) plus ``_sum`` and ``_count``."""
+        base = dict(labels or {})
+        for bucket in snap.get("buckets") or []:
+            le = _fmt_value(bucket.get("le"))
+            count = _fmt_value(bucket.get("count"))
+            if le is None or count is None:
+                continue
+            sample_labels = self._labels({**base, "le": le})
+            self.samples.append(f"{self.name}_bucket{sample_labels} {count}")
+        total = _fmt_value(snap.get("sum", 0.0))
+        count = _fmt_value(snap.get("count", 0))
+        if total is not None and count is not None:
+            self.samples.append(f"{self.name}_sum{self._labels(base)} {total}")
+            self.samples.append(f"{self.name}_count{self._labels(base)} {count}")
 
     def render(self) -> List[str]:
         if not self.samples:
             return []
         return [
             f"# HELP {self.name} {self.help}",
-            f"# TYPE {self.name} gauge",
+            f"# TYPE {self.name} {self.kind}",
             *self.samples,
         ]
 
@@ -95,10 +122,10 @@ def render_metrics(snapshot: dict) -> str:
     """Render a telemetry snapshot as Prometheus text exposition."""
     fams: Dict[str, _Family] = {}
 
-    def fam(name: str, help_text: str) -> _Family:
+    def fam(name: str, help_text: str, kind: str = "gauge") -> _Family:
         f = fams.get(name)
         if f is None:
-            f = fams[name] = _Family(name, help_text)
+            f = fams[name] = _Family(name, help_text, kind)
         return f
 
     campaign = snapshot.get("campaign") or {}
@@ -161,6 +188,39 @@ def render_metrics(snapshot: dict) -> str:
             "repro_serve_cell_seconds_ema",
             "Smoothed per-cell service time used for retry_after hints.",
         ).add(admission.get("cell_seconds"))
+        r_fam = fam(
+            "repro_serve_retry_after_seconds",
+            "retry_after a shed submission would receive right now, per lane.",
+        )
+        for lane, value in sorted((admission.get("retry_after") or {}).items()):
+            r_fam.add(value, {"lane": str(lane)})
+        for metric, key, help_text in (
+            (
+                "repro_serve_queue_age_seconds",
+                "queue_age",
+                "Time admitted cells sat queued in their lane before dispatch.",
+            ),
+            (
+                "repro_serve_service_time_seconds",
+                "service_time",
+                "Wall-clock execution time of completed cells, per lane.",
+            ),
+        ):
+            lanes = admission.get(key) or {}
+            if lanes:
+                h_fam = fam(metric, help_text, kind="histogram")
+                for lane, hist in sorted(lanes.items()):
+                    h_fam.add_histogram(hist, {"lane": str(lane)})
+        spans = serve.get("spans") or {}
+        if spans:
+            fam(
+                "repro_serve_spans_recorded_total",
+                "Tracing spans this node appended to the manifest.",
+            ).add(spans.get("recorded", 0))
+            fam(
+                "repro_serve_spans_dropped_total",
+                "Tracing spans lost to manifest append failures.",
+            ).add(spans.get("dropped", 0))
         fam(
             "repro_serve_stolen_cells_total",
             "Orphaned cells this node stole after their owner's lease expired.",
@@ -262,9 +322,14 @@ def parse_exposition(text: str) -> Dict[str, dict]:
     """Parse exposition text; raise ``ValueError`` on any malformed line.
 
     Returns ``{family: {"type": ..., "help": ..., "samples":
-    [(labels_dict, float_value), ...]}}``.  Enforces the parts of the format
-    a scraper depends on: metric/label name grammar, quoted+escaped label
-    values, parseable float values, and TYPE declared before samples.
+    [(labels_dict, float_value), ...]}}``.  Histogram/summary component
+    samples (``<family>_bucket``, ``_sum``, ``_count``) associate with their
+    base family and land under its ``"series"`` dict keyed by suffix.
+    Enforces the parts of the format a scraper depends on: metric/label name
+    grammar, quoted+escaped label values, parseable float values, TYPE
+    declared before samples — and full histogram semantics (cumulative
+    monotone buckets, a ``+Inf`` bucket, ``_count`` equal to the ``+Inf``
+    count, a ``_sum`` per series).
     """
     families: Dict[str, dict] = {}
     for lineno, line in enumerate(text.splitlines(), 1):
@@ -301,10 +366,76 @@ def parse_exposition(text: str) -> Dict[str, dict]:
         except ValueError:
             raise ValueError(f"line {lineno}: bad value {raw!r}")
         family = families.get(name)
+        suffix = ""
+        if family is None or family["type"] is None:
+            # histogram/summary component samples carry a suffixed name;
+            # associate them with the declared base family
+            for cand in ("_bucket", "_sum", "_count"):
+                if not name.endswith(cand):
+                    continue
+                base = families.get(name[: -len(cand)])
+                if base is None or base["type"] not in ("histogram", "summary"):
+                    continue
+                if cand == "_bucket" and base["type"] != "histogram":
+                    continue
+                family, suffix = base, cand
+                break
         if family is None or family["type"] is None:
             raise ValueError(f"line {lineno}: sample before TYPE for {name!r}")
-        family["samples"].append((labels, value))
+        if suffix:
+            family.setdefault("series", {}).setdefault(suffix, []).append(
+                (labels, value)
+            )
+        else:
+            family["samples"].append((labels, value))
+    for name, family in families.items():
+        if family["type"] == "histogram":
+            _validate_histogram(name, family)
     return families
+
+
+def _validate_histogram(name: str, family: dict) -> None:
+    """Histogram semantics a scraper silently miscounts without."""
+    series = family.get("series") or {}
+    buckets = series.get("_bucket") or []
+    if not buckets:
+        raise ValueError(f"histogram {name!r} has no _bucket samples")
+    groups: Dict[tuple, List[Tuple[float, float]]] = {}
+    for labels, value in buckets:
+        le_raw = labels.get("le")
+        if le_raw is None:
+            raise ValueError(f"histogram {name!r}: _bucket without 'le' label")
+        try:
+            le = float(le_raw)
+        except ValueError:
+            raise ValueError(f"histogram {name!r}: unparseable le {le_raw!r}")
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        groups.setdefault(key, []).append((le, value))
+    sums = {
+        tuple(sorted(labels.items())): value
+        for labels, value in series.get("_sum") or []
+    }
+    counts = {
+        tuple(sorted(labels.items())): value
+        for labels, value in series.get("_count") or []
+    }
+    for key, rows in groups.items():
+        where = f"{name}{dict(key)}"
+        rows.sort(key=lambda r: r[0])
+        if not math.isinf(rows[-1][0]):
+            raise ValueError(f"histogram {where}: missing +Inf bucket")
+        values = [v for _, v in rows]
+        if any(a > b for a, b in zip(values, values[1:])):
+            raise ValueError(f"histogram {where}: buckets not cumulative")
+        if key not in sums:
+            raise ValueError(f"histogram {where}: missing _sum")
+        if key not in counts:
+            raise ValueError(f"histogram {where}: missing _count")
+        if counts[key] != values[-1]:
+            raise ValueError(
+                f"histogram {where}: _count {counts[key]} != "
+                f"+Inf bucket {values[-1]}"
+            )
 
 
 def _parse_labels(raw: Optional[str], lineno: int) -> Dict[str, str]:

@@ -21,7 +21,10 @@ from repro.serve.admission import (
     LANE_BULK,
     LANE_QUICK,
     AdmissionController,
+    LatencyTracker,
+    LogHistogram,
     infer_lane,
+    nearest_rank,
 )
 from repro.serve.client import (
     DrainingError,
@@ -60,7 +63,9 @@ __all__ = [
     "JobRegistry",
     "LANE_BULK",
     "LANE_QUICK",
+    "LatencyTracker",
     "LoadGenerator",
+    "LogHistogram",
     "PoolResult",
     "STATUS_CRASH",
     "Saturated",
@@ -77,5 +82,6 @@ __all__ = [
     "cell_to_spec",
     "checkpoint_path",
     "infer_lane",
+    "nearest_rank",
     "run_serve",
 ]

@@ -2,9 +2,11 @@
 
 The service never queues unboundedly.  Each *lane* has a fixed budget of
 queued cells; a submission that would overflow its lane is shed with an HTTP
-429 plus a ``retry_after`` hint sized from the measured per-cell service
-time — the client backs off for roughly one drain of the current backlog
-rather than a blind constant.
+429 plus a ``retry_after`` hint sized from the lane's **live queue-age p99**
+(the time recently dispatched cells actually sat queued) — the client backs
+off for roughly what the backlog is currently costing, not a blind constant.
+Until the lane has dispatched anything, the hint degrades to the older
+estimate: backlog × per-cell service-time EMA ÷ pool width.
 
 Two lanes ship by default:
 
@@ -21,9 +23,12 @@ only while a real interactive burst is in flight.
 
 from __future__ import annotations
 
+import math
 import time
+from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 LANE_QUICK = "quick"
 LANE_BULK = "bulk"
@@ -38,6 +43,39 @@ MAX_RETRY_AFTER = 60.0
 
 #: assumed per-cell seconds before the first completion calibrates the EMA
 DEFAULT_CELL_SECONDS = 2.0
+
+#: log-spaced seconds bounds shared by the queue-age and service-time
+#: histograms (and their Prometheus exposition); +Inf is implicit
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+def nearest_rank(q: float, n: int) -> int:
+    """Index of the nearest-rank ``q``-quantile in a sorted list of ``n``.
+
+    The textbook definition — ``ceil(q * n)`` as a 1-based rank — clamped
+    into range, so ``q=0`` is the minimum, ``q=1.0`` the maximum, and
+    ``q=0.5`` at ``n=2`` picks the first element (rank 1), never rounding
+    everything down the way a bare ``int(q * n)`` index does.
+    """
+    if n <= 0:
+        raise ValueError("nearest_rank needs n >= 1")
+    return min(n - 1, max(0, math.ceil(q * n) - 1))
 
 
 def infer_lane(spec: dict) -> str:
@@ -55,9 +93,71 @@ def infer_lane(spec: dict) -> str:
     return LANE_QUICK
 
 
+class LogHistogram:
+    """Fixed log-bucket histogram of seconds, Prometheus-shaped.
+
+    Observations are O(log buckets); quantiles come back as the upper bound
+    of the bucket the rank lands in (clamped to the true observed max, so a
+    single 0.3 s sample reports 0.3 s, not the 0.5 s bucket edge).  The
+    bucket layout matches the rendered ``_bucket{le=...}`` exposition
+    exactly, so a scrape and a local quantile agree on what they counted.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        b = tuple(float(x) for x in bounds)
+        if not b or any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        self.counts[bisect_right(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper-bound estimate of the ``q``-quantile, or None when empty."""
+        if self.count == 0:
+            return None
+        rank = nearest_rank(q, self.count)
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running > rank:
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else float("inf")
+                )
+                return min(upper, self.max)
+        return self.max  # unreachable: running reaches count
+
+    def snapshot(self) -> dict:
+        """Cumulative Prometheus-style view: buckets, count, sum, max."""
+        buckets = []
+        running = 0
+        for i, bound in enumerate(self.bounds):
+            running += self.counts[i]
+            buckets.append({"le": bound, "count": running})
+        buckets.append({"le": float("inf"), "count": self.count})
+        return {
+            "buckets": buckets,
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "max": round(self.max, 6),
+        }
+
+
 @dataclass
 class AdmissionController:
-    """Bounded per-lane budgets plus a service-time EMA for retry hints."""
+    """Bounded per-lane budgets plus live latency histograms for hints."""
 
     quick_cap: int = 64
     bulk_cap: int = 256
@@ -68,6 +168,14 @@ class AdmissionController:
     shed_total: int = 0
     admitted_cells: int = 0
     _ema_cell_seconds: Optional[float] = None
+    #: per-lane time-spent-queued before dispatch (drives retry_after)
+    queue_age: Dict[str, LogHistogram] = field(
+        default_factory=lambda: {lane: LogHistogram() for lane in LANES}
+    )
+    #: per-lane wall time of completed cell executions
+    service_time: Dict[str, LogHistogram] = field(
+        default_factory=lambda: {lane: LogHistogram() for lane in LANES}
+    )
 
     def cap(self, lane: str) -> int:
         return self.quick_cap if lane == LANE_QUICK else self.bulk_cap
@@ -88,7 +196,7 @@ class AdmissionController:
             lane = LANE_BULK
         if self.queued[lane] + n_cells > self.cap(lane):
             self.shed_total += 1
-            return self.retry_after()
+            return self.retry_after(lane)
         self.queued[lane] += n_cells
         self.admitted_cells += n_cells
         return None
@@ -98,19 +206,39 @@ class AdmissionController:
         if lane in self.queued:
             self.queued[lane] = max(0, self.queued[lane] - n_cells)
 
-    def observe_cell_seconds(self, elapsed: float) -> None:
-        """Fold one completed cell's wall time into the service-time EMA."""
+    def observe_queue_age(self, lane: str, seconds: float) -> None:
+        """One cell left its lane for a worker after ``seconds`` queued."""
+        self.queue_age.get(lane, self.queue_age[LANE_BULK]).observe(seconds)
+
+    def observe_cell_seconds(
+        self, elapsed: float, lane: Optional[str] = None
+    ) -> None:
+        """Fold one completed cell's wall time into the EMA + histogram."""
         if elapsed <= 0:
             return
         if self._ema_cell_seconds is None:
             self._ema_cell_seconds = elapsed
         else:
             self._ema_cell_seconds += 0.2 * (elapsed - self._ema_cell_seconds)
+        if lane is not None:
+            self.service_time.get(
+                lane, self.service_time[LANE_BULK]
+            ).observe(elapsed)
 
-    def retry_after(self) -> float:
-        """Seconds until the current backlog plausibly drains one slot."""
-        backlog = sum(self.queued.values())
-        est = (backlog + 1) * self.cell_seconds / max(1, self.jobs)
+    def retry_after(self, lane: Optional[str] = None) -> float:
+        """Seconds a shed client should back off before retrying.
+
+        Primary signal: the lane's live queue-age p99 — what recently
+        dispatched cells actually waited.  Before the lane has dispatched
+        anything (cold start, or spans of pure shedding) it degrades to the
+        old estimate: backlog × service-time EMA ÷ pool width.
+        """
+        est: Optional[float] = None
+        if lane is not None and lane in self.queue_age:
+            est = self.queue_age[lane].quantile(0.99)
+        if est is None:
+            backlog = sum(self.queued.values())
+            est = (backlog + 1) * self.cell_seconds / max(1, self.jobs)
         return round(min(MAX_RETRY_AFTER, max(MIN_RETRY_AFTER, est)), 2)
 
     def snapshot(self) -> dict:
@@ -120,26 +248,42 @@ class AdmissionController:
             "shed_total": self.shed_total,
             "admitted_cells": self.admitted_cells,
             "cell_seconds": round(self.cell_seconds, 4),
+            "retry_after": {
+                lane: self.retry_after(lane) for lane in self.queued
+            },
+            "queue_age": {
+                lane: h.snapshot() for lane, h in self.queue_age.items()
+            },
+            "service_time": {
+                lane: h.snapshot() for lane, h in self.service_time.items()
+            },
         }
 
 
 @dataclass
 class LatencyTracker:
-    """Reservoir-free admission-latency quantiles (small N, exact)."""
+    """Exact quantiles over a sliding window of recent admission latencies.
 
-    samples: list = field(default_factory=list)
+    A bounded ring (``deque(maxlen=...)``): once full, each new sample
+    evicts the oldest, so the p99 tracks *recent* traffic instead of
+    freezing on whatever the first 10 k warm-up submissions looked like.
+    """
+
     max_samples: int = 10_000
+    samples: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.samples.maxlen != self.max_samples:
+            self.samples = deque(self.samples, maxlen=self.max_samples)
 
     def observe(self, seconds: float) -> None:
-        if len(self.samples) < self.max_samples:
-            self.samples.append(seconds)
+        self.samples.append(seconds)
 
     def quantile(self, q: float) -> Optional[float]:
         if not self.samples:
             return None
         ordered = sorted(self.samples)
-        idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
-        return ordered[idx]
+        return ordered[nearest_rank(q, len(ordered))]
 
 
 def wall() -> float:

@@ -180,7 +180,12 @@ def drop_connection(host: str, port: int, payload: bytes = b"POST /submit HTTP/1
 
 def seed_manifest(manifest_path: str, specs: List[dict], reset: bool = True) -> int:
     """Write expired seed claims for every spec; the manifest becomes the
-    fleet's work queue.  Returns the number of cells seeded."""
+    fleet's work queue.  Returns the number of cells seeded.
+
+    Each seed claim carries a fresh trace id, so the span timeline of a
+    fleet run connects from seeding through every steal and re-execution.
+    """
+    from repro.obs.spans import mint_trace_id
     from repro.serve.jobs import cell_from_spec
     from repro.serve.steal import WorkQueue
 
@@ -189,12 +194,12 @@ def seed_manifest(manifest_path: str, specs: List[dict], reset: bool = True) -> 
         manifest.reset(meta={"serve": True, "seeded": len(specs)})
     queue = WorkQueue(manifest, "seed")
     queue.attach()
-    pairs = []
+    triples = []
     for spec in specs:
         cell = cell_from_spec(spec)
-        pairs.append((cell.cell_id, spec))
-    queue.seed(pairs)
-    return len(pairs)
+        triples.append((cell.cell_id, spec, mint_trace_id()))
+    queue.seed(triples)
+    return len(triples)
 
 
 def run_node(

@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.serve.admission import nearest_rank
+
 
 class ServeError(RuntimeError):
     """Protocol-level failure talking to the service."""
@@ -48,14 +50,17 @@ class ServeClient:
         method: str,
         path: str,
         payload: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> tuple:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = json.dumps(payload).encode() if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
+            all_headers = dict(headers or {})
+            if body:
+                all_headers.setdefault("Content-Type", "application/json")
+            conn.request(method, path, body=body, headers=all_headers)
             resp = conn.getresponse()
             raw = resp.read()
             try:
@@ -73,6 +78,7 @@ class ServeClient:
         grid: Optional[dict] = None,
         lane: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        traceparent: Optional[str] = None,
     ) -> dict:
         payload: Dict[str, Any] = {}
         if cells:
@@ -83,7 +89,8 @@ class ServeClient:
             payload["lane"] = lane
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
-        status, data = self._request("POST", "/submit", payload)
+        headers = {"traceparent": traceparent} if traceparent else None
+        status, data = self._request("POST", "/submit", payload, headers=headers)
         if status == 429:
             raise Shed(float(data.get("retry_after", 1.0)))
         if status == 503:
@@ -97,6 +104,27 @@ class ServeClient:
         if status != 200:
             raise ServeError(f"job lookup failed ({status}): {data}")
         return data
+
+    def job_report(self, job_id: str) -> dict:
+        """The job's RunReport artifacts streamed over the wire."""
+        status, data = self._request("GET", f"/jobs/{job_id}/report")
+        if status != 200:
+            raise ServeError(f"job report failed ({status}): {data}")
+        return data
+
+    def job_dash(self, job_id: str) -> str:
+        """The job's HTML dashboard, rendered by the server."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/dash.html")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise ServeError(f"job dash failed ({resp.status})")
+            return resp.read().decode()
+        finally:
+            conn.close()
 
     def wait(
         self, job_id: str, timeout: float = 300.0, poll: float = 0.25
@@ -160,7 +188,7 @@ class LoadStats:
         if not self.latencies:
             return None
         ordered = sorted(self.latencies)
-        return ordered[min(len(ordered) - 1, max(0, int(q * len(ordered))))]
+        return ordered[nearest_rank(q, len(ordered))]
 
     def to_dict(self) -> dict:
         return {

@@ -149,6 +149,10 @@ class CellState:
     stolen: bool = False
     record: Optional[Any] = None  # CellRecord once terminal
     jobs: Set[str] = field(default_factory=set)
+    #: trace id of the submission (or stolen claim) that created this cell
+    trace_id: Optional[str] = None
+    #: monotonic instant the cell last entered a lane queue (span timing)
+    enqueued: Optional[float] = None
 
     @property
     def cell_id(self) -> str:
@@ -170,6 +174,8 @@ class Job:
     deadline: Optional[float] = None  # monotonic expiry for *queued* cells
     status: str = JOB_QUEUED
     done: Set[str] = field(default_factory=set)
+    #: trace id minted (or adopted from ``traceparent``) at admission
+    trace_id: Optional[str] = None
 
     def to_dict(self, cells: Dict[str, CellState]) -> dict:
         results: Dict[str, dict] = {}
@@ -189,7 +195,7 @@ class Job:
                     entry["diagnosis"] = rec.diagnosis
                 entry["cached"] = rec.cached
             results[cid] = entry
-        return {
+        out = {
             "job": self.job_id,
             "status": self.status,
             "lane": self.lane,
@@ -197,6 +203,9 @@ class Job:
             "done": len(self.done),
             "cells": results,
         }
+        if self.trace_id is not None:
+            out["trace"] = self.trace_id
+        return out
 
 
 class JobRegistry:

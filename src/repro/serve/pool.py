@@ -57,6 +57,7 @@ class PoolResult:
     status: str  # ok | error | timeout | crash
     payload: Any  # summary dict, error text, or {"error","diagnosis"}
     elapsed: float
+    worker: Optional[str] = None  # pool slot name ("w0", ...) for tracing
 
 
 class ServePool:
@@ -199,6 +200,7 @@ class ServePool:
                             STATUS_CRASH,
                             f"worker process died (exitcode {w.proc.exitcode})",
                             0.0,
+                            worker=f"w{i}",
                         )
                     )
                 w.kill()
@@ -244,6 +246,7 @@ class ServePool:
             ready = connection.wait([w.conn for w in busy], timeout=wait_for)
             for w in busy:
                 if w.conn in ready:
+                    slot = f"w{self._workers.index(w)}"
                     cell, attempt = w.take_task()
                     try:
                         status, payload, elapsed = w.conn.recv()
@@ -253,9 +256,13 @@ class ServePool:
                             f"worker process died (exitcode {w.proc.exitcode})",
                             0.0,
                         )
-                    self._emit(PoolResult(cell, attempt, status, payload, elapsed))
+                    self._emit(
+                        PoolResult(
+                            cell, attempt, status, payload, elapsed, worker=slot
+                        )
+                    )
             now = time.monotonic()
-            for w in self._workers:
+            for i, w in enumerate(self._workers):
                 if (
                     w is not None
                     and w.busy
@@ -271,6 +278,7 @@ class ServePool:
                             STATUS_TIMEOUT,
                             f"cell exceeded {self.timeout:g}s wall-clock",
                             float(self.timeout or 0.0),
+                            worker=f"w{i}",
                         )
                     )
 

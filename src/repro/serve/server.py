@@ -32,6 +32,7 @@ Degradation ladder (documented in docs/API.md):
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import os
 import time
@@ -42,6 +43,7 @@ from collections import deque
 
 from repro.campaign.executor import (
     CellRunner,
+    cell_report_path,
     execute_cell,
     retry_delay,
     summarize,
@@ -56,6 +58,19 @@ from repro.campaign.manifest import (
 from repro.campaign.spec import Cell
 from repro.experiments.runner import ResultCache
 from repro.obs import telemetry as _telemetry
+from repro.obs.spans import (
+    STAGE_ADMIT,
+    STAGE_CLAIM,
+    STAGE_EXECUTE,
+    STAGE_MERGE,
+    STAGE_QUEUE,
+    STAGE_STEAL,
+    SpanLog,
+    attribution,
+    critical_path_text,
+    mint_trace_id,
+    parse_traceparent,
+)
 from repro.serve.admission import (
     LANE_BULK,
     LANE_QUICK,
@@ -120,6 +135,11 @@ class ServeConfig:
     #: headless fleet mode: exit once every claim in the manifest is terminal
     exit_when_complete: bool = False
     start_method: Optional[str] = None
+    #: causal span tracing (repro.obs.spans); off = no span records at all
+    spans: bool = True
+    #: directory for per-cell RunReport artifacts, served by
+    #: ``GET /jobs/<id>/report`` and ``/jobs/<id>/dash.html``
+    report_dir: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -138,6 +158,14 @@ class ServeScheduler:
         self.cfg = cfg
         self.manifest = Manifest(cfg.manifest)
         self.queue = WorkQueue(self.manifest, cfg.name, cfg.lease_ticks)
+        self.spans = SpanLog(self.manifest, cfg.name, enabled=cfg.spans)
+        if cfg.report_dir is not None and runner is execute_cell:
+            # mirror run_campaign: only the default runner understands the
+            # report_dir kwarg; custom runners opt in themselves
+            os.makedirs(cfg.report_dir, exist_ok=True)
+            runner = functools.partial(
+                execute_cell, report_dir=str(cfg.report_dir)
+            )
         self.registry = JobRegistry()
         self.admission = AdmissionController(
             quick_cap=cfg.quick_cap, bulk_cap=cfg.bulk_cap, jobs=cfg.jobs
@@ -242,9 +270,19 @@ class ServeScheduler:
         specs: List[dict],
         lane: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> dict:
-        """Admit one job; raises Saturated/Draining/SpecError."""
+        """Admit one job; raises Saturated/Draining/SpecError.
+
+        ``trace_id`` is the client-supplied trace (already validated by
+        :func:`repro.obs.spans.parse_traceparent`); with spans enabled a
+        missing one is minted here — the admission point is where the
+        causal chain starts.
+        """
         t0 = time.perf_counter()
+        wall0 = time.time()
+        if trace_id is None and self.spans.enabled:
+            trace_id = mint_trace_id()
         if self.draining:
             raise Draining("node is draining")
         if not specs:
@@ -275,6 +313,7 @@ class ServeScheduler:
             deadline=(
                 time.monotonic() + deadline_s if deadline_s is not None else None
             ),
+            trace_id=trace_id,
         )
         self.registry.add(job)
         self._job_events[job.job_id] = asyncio.Event()
@@ -282,25 +321,41 @@ class ServeScheduler:
             state = self.cells.get(cid)
             if state is None:
                 state = self.cells[cid] = CellState(
-                    cell=cell, spec=spec, lane=lane
+                    cell=cell, spec=spec, lane=lane, trace_id=trace_id
                 )
                 resolved = self._try_resolve(state)
                 if not resolved:
+                    state.enqueued = time.monotonic()
                     self.pending[lane].append(cid)
+            elif state.trace_id is None:
+                state.trace_id = trace_id
             state.jobs.add(job.job_id)
             if state.terminal:
                 job.done.add(cid)
         if len(job.done) >= len(job.cell_ids):
             job.status = "done"
             self._job_events[job.job_id].set()
-        self.latency.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self.latency.observe(elapsed)
+        self.spans.record(
+            STAGE_ADMIT,
+            trace_id,
+            wall0,
+            elapsed,
+            job=job.job_id,
+            lane=lane,
+            cells=len(unique),
+        )
         self._dispatch()
-        return {
+        out = {
             "job": job.job_id,
             "status": job.status,
             "lane": lane,
             "cells": list(unique),
         }
+        if trace_id is not None:
+            out["trace"] = trace_id
+        return out
 
     def _resolvable(self, cell: Cell) -> bool:
         """True when the cell will be satisfied without queue capacity."""
@@ -376,12 +431,36 @@ class ServeScheduler:
         return None
 
     def _launch(self, state: CellState, attempt: int) -> None:
+        if state.enqueued is not None:
+            age = max(0.0, time.monotonic() - state.enqueued)
+            state.enqueued = None
+            self.admission.observe_queue_age(state.lane, age)
+            self.spans.record(
+                STAGE_QUEUE,
+                state.trace_id,
+                time.time() - age,
+                age,
+                cell_id=state.cell_id,
+                lane=state.lane,
+            )
+        claim_wall = time.time()
+        claim_t0 = time.perf_counter()
         try:
-            self.queue.claim(state.cell_id, state.spec)
+            self.queue.claim(state.cell_id, state.spec, trace=state.trace_id)
         except OSError:
             # claim did not land (e.g. ENOSPC): run anyway — claims are an
             # optimization for peers; the terminal record is what matters
             pass
+        else:
+            self.spans.record(
+                STAGE_CLAIM,
+                state.trace_id,
+                claim_wall,
+                time.perf_counter() - claim_t0,
+                cell_id=state.cell_id,
+                gen=self.queue.gen,
+                clock=self.queue.clock,
+            )
         state.status = CELL_RUNNING
         state.attempts = attempt
         self.inflight += 1
@@ -398,6 +477,16 @@ class ServeScheduler:
         if state is None or state.terminal:
             self._dispatch()  # zombie result for a stolen/finished cell
             return
+        self.spans.record(
+            STAGE_EXECUTE,
+            state.trace_id,
+            time.time() - max(0.0, res.elapsed),
+            res.elapsed,
+            cell_id=state.cell_id,
+            status=res.status,
+            attempt=res.attempt,
+            **({"slot": res.worker} if res.worker else {}),
+        )
         if res.status == STATUS_OK:
             self._finish(
                 state,
@@ -495,6 +584,7 @@ class ServeScheduler:
             if self.inflight < self.cfg.jobs:
                 self._launch(state, state.attempts + 1)
             else:
+                state.enqueued = time.monotonic()
                 self.pending[state.lane].appendleft(state.cell_id)
                 self.admission.queued[state.lane] += 1
 
@@ -507,6 +597,17 @@ class ServeScheduler:
         executed: bool,
         quarantine: bool = False,
     ) -> None:
+        if (
+            executed
+            and rec.ok
+            and rec.report is None
+            and self.cfg.report_dir is not None
+        ):
+            report = cell_report_path(self.cfg.report_dir, rec.cell_id)
+            if report.exists():
+                rec.report = str(report)
+        merge_wall = time.time()
+        merge_t0 = time.perf_counter()
         try:
             self.queue.record(rec)
         except OSError:
@@ -514,12 +615,21 @@ class ServeScheduler:
             # append every tick until the write lands
             self._unrecorded.append(rec)
             self.queue.release(rec.cell_id)
+        if executed:
+            self.spans.record(
+                STAGE_MERGE,
+                state.trace_id,
+                merge_wall,
+                time.perf_counter() - merge_t0,
+                cell_id=state.cell_id,
+                status=rec.status,
+            )
         state.record = rec
         state.status = CELL_QUARANTINED if quarantine else CELL_DONE
         if executed:
             self.completed_cells += 1
             if rec.ok:
-                self.admission.observe_cell_seconds(rec.elapsed)
+                self.admission.observe_cell_seconds(rec.elapsed, lane=state.lane)
         if (
             rec.ok
             and not rec.cached
@@ -583,7 +693,9 @@ class ServeScheduler:
             state = self.cells.get(cid)
             if state is not None and state.status == CELL_RUNNING:
                 try:
-                    self.queue.claim(cid, state.spec)
+                    # carry the trace on renewals too, or a death after a
+                    # renewal would strand the stolen cell off its trace
+                    self.queue.claim(cid, state.spec, trace=state.trace_id)
                 except OSError:
                     pass
             else:
@@ -593,6 +705,8 @@ class ServeScheduler:
             for cid, spec in self.queue.steals(scan):
                 if self.inflight >= self.cfg.jobs * 2:
                     break  # bounded theft: leave the rest for other peers
+                claim = scan.claims.get(cid)
+                trace = claim.trace if claim is not None else None
                 state = self.cells.get(cid)
                 if state is None:
                     try:
@@ -600,12 +714,31 @@ class ServeScheduler:
                     except SpecError:
                         continue
                     state = self.cells[cid] = CellState(
-                        cell=cell, spec=spec, lane=infer_lane(spec)
+                        cell=cell,
+                        spec=spec,
+                        lane=infer_lane(spec),
+                        trace_id=trace,
                     )
                 if state.status != CELL_PENDING or state.terminal:
                     continue
+                if state.trace_id is None:
+                    # adopt the trace riding in the dead owner's claim: the
+                    # stolen cell stays on the submission's causal chain
+                    state.trace_id = trace
                 state.stolen = True
                 self.queue.stolen_total += 1
+                self.spans.record(
+                    STAGE_STEAL,
+                    state.trace_id,
+                    time.time(),
+                    0.0,
+                    cell_id=cid,
+                    **(
+                        {"from_worker": claim.worker, "from_gen": claim.gen}
+                        if claim is not None
+                        else {}
+                    ),
+                )
                 self._launch(state, state.attempts + 1)
         # job deadlines: queued cells of expired jobs stop occupying lanes
         for job in self.registry.expire_due():
@@ -649,7 +782,8 @@ class ServeScheduler:
         path = checkpoint_path(self.cfg.manifest)
         pending = [
             {"kind": "pending", "cell_id": s.cell_id, "spec": s.spec,
-             "lane": s.lane, "attempts": s.attempts}
+             "lane": s.lane, "attempts": s.attempts,
+             **({"trace": s.trace_id} if s.trace_id is not None else {})}
             for s in self.cells.values()
             if not s.terminal
         ]
@@ -714,8 +848,15 @@ class ServeScheduler:
             if cell.cell_id != cid:
                 continue
             lane = raw.get("lane") if raw.get("lane") in self.pending else LANE_BULK
-            state = self.cells[cid] = CellState(cell=cell, spec=spec, lane=lane)
+            trace = raw.get("trace")
+            state = self.cells[cid] = CellState(
+                cell=cell,
+                spec=spec,
+                lane=lane,
+                trace_id=trace if isinstance(trace, str) else None,
+            )
             if not self._try_resolve(state):
+                state.enqueued = time.monotonic()
                 self.pending[lane].append(cid)
                 self.admission.queued[lane] += 1
         try:
@@ -742,8 +883,67 @@ class ServeScheduler:
             "completed_cells": self.completed_cells,
             "unrecorded": len(self._unrecorded),
             "admission_p99_seconds": p99,
+            "spans": self.spans.snapshot(),
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
         }
+
+    def job_info(self, job: Job) -> dict:
+        """Job status plus span-derived per-stage wall-clock attribution."""
+        out = job.to_dict(self.cells)
+        for cid, entry in out["cells"].items():
+            stages = self.spans.by_cell.get(cid)
+            if stages:
+                entry["stages"] = {k: round(v, 6) for k, v in stages.items()}
+        totals = self.spans.stage_totals(job.cell_ids)
+        fracs = attribution(totals)
+        if fracs:
+            out["stages"] = {k: round(v, 6) for k, v in totals.items()}
+            out["critical_path"] = fracs
+            out["critical_path_text"] = critical_path_text(fracs)
+        return out
+
+    def job_report_paths(self, job: Job) -> Dict[str, str]:
+        """cell_id -> on-disk RunReport path for cells that wrote one."""
+        out: Dict[str, str] = {}
+        for cid in job.cell_ids:
+            state = self.cells.get(cid)
+            rec = state.record if state is not None else None
+            path = rec.report if rec is not None else None
+            if path is None and self.cfg.report_dir is not None:
+                candidate = cell_report_path(self.cfg.report_dir, cid)
+                if candidate.exists():
+                    path = str(candidate)
+            if path is not None and os.path.exists(path):
+                out[cid] = path
+        return out
+
+    def job_reports(self, job: Job) -> dict:
+        """The job's RunReport artifacts as one JSON payload (wire form)."""
+        reports: Dict[str, Any] = {}
+        for cid, path in self.job_report_paths(job).items():
+            try:
+                with open(path) as fh:
+                    reports[cid] = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+        return {
+            "job": job.job_id,
+            "report_dir": self.cfg.report_dir,
+            "reports": reports,
+        }
+
+    def job_dash(self, job: Job) -> str:
+        """The run-report dashboard for this job, rendered server-side."""
+        from repro.obs.html import render_html
+        from repro.obs.report import RunReport
+
+        reports = []
+        for _cid, path in sorted(self.job_report_paths(job).items()):
+            try:
+                reports.append(RunReport.load(path))
+            except Exception:
+                continue
+        return render_html(reports, title=f"repro serve job {job.job_id}")
 
     def snapshot(self) -> dict:
         if self.telemetry_dir is not None:
@@ -879,6 +1079,7 @@ class ServeService:
                     _expand_cells(req),
                     lane=req.get("lane"),
                     deadline_s=req.get("deadline_s"),
+                    trace_id=parse_traceparent(req.get("traceparent")),
                 )
             except Saturated as exc:
                 return {
@@ -895,7 +1096,7 @@ class ServeService:
             job = node.registry.jobs.get(str(req.get("job")))
             if job is None:
                 return {"ok": False, "error": "unknown job"}
-            return {"ok": True, **job.to_dict(node.cells)}
+            return {"ok": True, **node.job_info(job)}
         if op == "wait":
             job_id = str(req.get("job"))
             job = node.registry.jobs.get(job_id)
@@ -913,9 +1114,9 @@ class ServeService:
                     return {
                         "ok": False,
                         "error": "timeout",
-                        **job.to_dict(node.cells),
+                        **node.job_info(job),
                     }
-            return {"ok": True, **job.to_dict(node.cells)}
+            return {"ok": True, **node.job_info(job)}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     # -- HTTP protocol -------------------------------------------------
@@ -954,10 +1155,15 @@ class ServeService:
             if n:
                 body = await reader.readexactly(n)
         path = target.split("?", 1)[0]
-        await self._route(writer, method, path, body)
+        await self._route(writer, method, path, body, headers)
 
     async def _route(
-        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         node = self.node
         if method == "GET" and path == "/healthz":
@@ -987,11 +1193,27 @@ class ServeService:
             )
             return
         if method == "GET" and path.startswith("/jobs/"):
-            job = node.registry.jobs.get(path[len("/jobs/") :])
+            rest = path[len("/jobs/") :]
+            tail = ""
+            for suffix in ("/report", "/dash.html"):
+                if rest.endswith(suffix):
+                    rest, tail = rest[: -len(suffix)], suffix
+                    break
+            job = node.registry.jobs.get(rest)
             if job is None:
                 await _respond(writer, 404, {"error": "unknown job"})
                 return
-            await _respond(writer, 200, job.to_dict(node.cells))
+            if tail == "/report":
+                await _respond(writer, 200, node.job_reports(job))
+            elif tail == "/dash.html":
+                await _respond(
+                    writer,
+                    200,
+                    node.job_dash(job).encode(),
+                    content_type="text/html; charset=utf-8",
+                )
+            else:
+                await _respond(writer, 200, node.job_info(job))
             return
         if method == "POST" and path == "/submit":
             try:
@@ -1002,6 +1224,10 @@ class ServeService:
                     _expand_cells(req),
                     lane=req.get("lane"),
                     deadline_s=req.get("deadline_s"),
+                    trace_id=parse_traceparent(
+                        (headers or {}).get("traceparent")
+                        or req.get("traceparent")
+                    ),
                 )
             except Saturated as exc:
                 await _respond(

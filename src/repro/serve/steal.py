@@ -94,8 +94,19 @@ class WorkQueue:
         self.manifest.append_tick(self.worker, self.clock)
 
     # ------------------------------------------------------------------
-    def claim(self, cell_id: str, spec: Optional[dict]) -> ClaimRecord:
-        """Take (or renew) the lease on one cell."""
+    def claim(
+        self,
+        cell_id: str,
+        spec: Optional[dict],
+        trace: Optional[str] = None,
+    ) -> ClaimRecord:
+        """Take (or renew) the lease on one cell.
+
+        ``trace`` is the submission's trace id (:mod:`repro.obs.spans`);
+        riding in the claim record, it survives the owner's death — the
+        peer that steals the cell reads it back out of the winning claim
+        and keeps recording spans under the same trace.
+        """
         claim = ClaimRecord(
             cell_id=cell_id,
             worker=self.worker,
@@ -103,6 +114,7 @@ class WorkQueue:
             clock=self.clock,
             lease=self.clock + self.lease_ticks,
             spec=spec,
+            trace=trace,
         )
         self.manifest.append_claim(claim)
         self.mine.add(cell_id)
@@ -124,14 +136,16 @@ class WorkQueue:
         return due
 
     # ------------------------------------------------------------------
-    def seed(self, cells: List[Tuple[str, dict]]) -> None:
+    def seed(self, cells: List[Tuple]) -> None:
         """Pre-load the queue with already-expired claims.
 
         Used to hand a cell list to a fleet of peer schedulers through the
         manifest alone: a ``seed`` claim (generation 0, lease already in the
-        past) is immediately stealable by any attached scheduler.
+        past) is immediately stealable by any attached scheduler.  Items are
+        ``(cell_id, spec)`` or ``(cell_id, spec, trace)`` tuples.
         """
-        for cell_id, spec in cells:
+        for item in cells:
+            cell_id, spec, *rest = item
             self.manifest.append_claim(
                 ClaimRecord(
                     cell_id=cell_id,
@@ -140,6 +154,7 @@ class WorkQueue:
                     clock=self.clock,
                     lease=self.clock - 1,
                     spec=spec,
+                    trace=rest[0] if rest else None,
                 )
             )
 

@@ -15,12 +15,14 @@ import time
 
 import pytest
 
-from repro.obs.promtext import parse_exposition
+from repro.obs.promtext import parse_exposition, render_metrics
+from repro.obs.spans import read_spans
 from repro.serve import (
     LANE_BULK,
     LANE_QUICK,
     AdmissionController,
     DrainingError,
+    LatencyTracker,
     ServeClient,
     ServeConfig,
     ServeScheduler,
@@ -559,3 +561,274 @@ class TestCheckpointResume:
             assert state.record is not None and state.record.ok
 
         _with_node(cfg2, ok_runner, second)
+
+
+# ----------------------------------------------------------------------
+# Admission latency window (LatencyTracker)
+# ----------------------------------------------------------------------
+
+
+class TestLatencyTracker:
+    def test_window_slides_instead_of_silently_dropping(self):
+        # regression: observe() used to drop every sample past the first
+        # 10k, freezing the p99 on warm-up traffic forever
+        tracker = LatencyTracker(max_samples=100)
+        for _ in range(100):
+            tracker.observe(0.001)
+        for _ in range(100):
+            tracker.observe(1.0)
+        assert len(tracker.samples) == 100  # bounded, but still absorbing
+        assert tracker.quantile(0.5) == 1.0  # reflects *recent* traffic
+        assert tracker.quantile(0.99) == 1.0
+
+    def test_quantiles_use_nearest_rank(self):
+        tracker = LatencyTracker()
+        tracker.observe(2.0)
+        tracker.observe(1.0)
+        assert tracker.quantile(0.0) == 1.0
+        assert tracker.quantile(0.5) == 1.0  # rank 1 of 2, not the max
+        assert tracker.quantile(1.0) == 2.0
+        assert LatencyTracker().quantile(0.99) is None
+
+
+# ----------------------------------------------------------------------
+# Causal tracing through the service path
+# ----------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_submit_mints_trace_and_attributes_critical_path(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(client.submit, cells=[_spec(seed=1)])
+            assert len(out["trace"]) == 32
+            info = await _call(client.wait, out["job"], 30.0, 0.05)
+            assert info["trace"] == out["trace"]
+            (cell,) = info["cells"].values()
+            assert {"queue", "execute", "merge"} <= set(cell["stages"])
+            assert sum(info["critical_path"].values()) == pytest.approx(
+                1.0, abs=0.01
+            )
+            assert "%" in info["critical_path_text"]
+            return out["trace"]
+
+        trace = _with_service(cfg, ok_runner, body)
+        spans = read_spans(cfg.manifest, trace_id=trace)
+        assert {"admit", "queue", "claim", "execute", "merge"} <= {
+            s.name for s in spans
+        }
+        # one submission, one trace: nothing leaked onto another id
+        assert {s.trace_id for s in read_spans(cfg.manifest)} == {trace}
+
+    def test_client_traceparent_header_honored(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(
+                client.submit,
+                [_spec(seed=1)],
+                None,
+                None,
+                None,
+                f"00-{trace}-00f067aa0ba902b7-01",
+            )
+            assert out["trace"] == trace
+            await _call(client.wait, out["job"], 30.0, 0.05)
+
+        _with_service(cfg, ok_runner, body)
+        assert {s.trace_id for s in read_spans(cfg.manifest)} == {trace}
+
+    def test_spans_disabled_degrades_cleanly(self, tmp_path):
+        cfg = _cfg(tmp_path, spans=False)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(client.submit, cells=[_spec(seed=1)])
+            assert "trace" not in out
+            info = await _call(client.wait, out["job"], 30.0, 0.05)
+            assert info["status"] == "done"
+            assert "critical_path" not in info
+            (cell,) = info["cells"].values()
+            assert "stages" not in cell
+            snap = await _call(client.snapshot)
+            assert snap["serve"]["spans"] == {
+                "enabled": False, "recorded": 0, "dropped": 0, "cells": 0,
+            }
+
+        _with_service(cfg, ok_runner, body)
+        assert read_spans(cfg.manifest) == []
+
+    def test_trace_survives_drain_checkpoint_resume(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        trace = "feed" * 8
+
+        async def first(node):
+            node.submit([_spec(seed=s) for s in (1, 2, 3)], trace_id=trace)
+            await asyncio.sleep(0.2)
+            node.begin_drain()
+            await asyncio.wait_for(node.stopped.wait(), 30.0)
+
+        _with_node(cfg, slow_runner, first)
+        ckpt = checkpoint_path(cfg.manifest)
+        rows = [json.loads(ln) for ln in open(ckpt).read().splitlines()]
+        pending = [r for r in rows if r["kind"] == "pending"]
+        assert pending and all(r.get("trace") == trace for r in pending)
+
+        cfg2 = _cfg(tmp_path, resume=True, exit_when_complete=True)
+
+        async def second(node):
+            await asyncio.wait_for(node.stopped.wait(), 60.0)
+
+        _with_node(cfg2, ok_runner, second)
+        # the resumed node's execute/merge spans carry the original trace
+        resumed = [
+            s for s in read_spans(cfg.manifest, trace_id=trace)
+            if s.name in ("execute", "merge")
+        ]
+        assert len(resumed) >= 2
+
+
+# ----------------------------------------------------------------------
+# Report + dashboard streaming (real simulations)
+# ----------------------------------------------------------------------
+
+
+class TestReportEndpoints:
+    def test_job_report_and_dash_streamed(self, tmp_path):
+        from repro.campaign.executor import execute_cell
+
+        cfg = _cfg(
+            tmp_path, use_cache=False, report_dir=str(tmp_path / "reports")
+        )
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(client.submit, cells=[_spec(refs=60, seed=1)])
+            info = await _call(client.wait, out["job"], 60.0, 0.05)
+            assert info["status"] == "done"
+            payload = await _call(client.job_report, out["job"])
+            assert payload["job"] == out["job"]
+            (report,) = payload["reports"].values()
+            assert report["workload"] == "HM1"
+            html = await _call(client.job_dash, out["job"])
+            assert "<html" in html.lower() and out["job"] in html
+            # unknown job ids still 404 on the suffixed routes
+            status, _ = await _call(
+                client._request, "GET", "/jobs/j999/report"
+            )
+            assert status == 404
+
+        _with_service(cfg, execute_cell, body)
+        reports = list((tmp_path / "reports").glob("*.json"))
+        assert len(reports) == 1
+
+    def test_report_endpoint_without_report_dir(self, tmp_path):
+        cfg = _cfg(tmp_path)
+
+        async def body(service):
+            client = ServeClient("127.0.0.1", service.port)
+            out = await _call(client.submit, cells=[_spec(seed=1)])
+            await _call(client.wait, out["job"], 30.0, 0.05)
+            payload = await _call(client.job_report, out["job"])
+            assert payload["reports"] == {}  # degrades, not 500s
+
+        _with_service(cfg, ok_runner, body)
+
+
+# ----------------------------------------------------------------------
+# Prometheus histogram exposition
+# ----------------------------------------------------------------------
+
+
+class TestPromHistograms:
+    def _snapshot(self):
+        adm = AdmissionController(jobs=2)
+        for age in (0.002, 0.04, 0.04, 1.7):
+            adm.observe_queue_age(LANE_QUICK, age)
+        adm.observe_cell_seconds(0.3, lane=LANE_QUICK)
+        return {
+            "campaign": {},
+            "manifest": {},
+            "workers": [],
+            "serve": {"admission": adm.snapshot(), "pending": {}, "jobs": {}},
+        }
+
+    def test_render_and_parse_round_trip(self):
+        text = render_metrics(self._snapshot())
+        families = parse_exposition(text)
+        fam = families["repro_serve_queue_age_seconds"]
+        assert fam["type"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for labels, value in fam["series"]["_bucket"]
+            if labels.get("lane") == "quick"
+        ]
+        assert buckets[-1][0] == "+Inf" and buckets[-1][1] == 4.0
+        values = [v for _, v in buckets]
+        assert values == sorted(values)  # cumulative
+        (sum_sample,) = [
+            v for labels, v in fam["series"]["_sum"]
+            if labels.get("lane") == "quick"
+        ]
+        assert sum_sample == pytest.approx(1.782)
+        assert "repro_serve_service_time_seconds" in families
+        retry = families["repro_serve_retry_after_seconds"]
+        assert {labels["lane"] for labels, _ in retry["samples"]} == {
+            "quick", "bulk",
+        }
+
+    def _base(self):
+        return (
+            "# TYPE x_seconds histogram\n"
+        )
+
+    def test_parser_rejects_non_cumulative_buckets(self):
+        text = (
+            self._base()
+            + 'x_seconds_bucket{le="0.1"} 5\n'
+            + 'x_seconds_bucket{le="+Inf"} 3\n'
+            + "x_seconds_sum 1\nx_seconds_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_parser_requires_inf_bucket(self):
+        text = (
+            self._base()
+            + 'x_seconds_bucket{le="0.1"} 5\n'
+            + "x_seconds_sum 1\nx_seconds_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_parser_requires_count_matching_inf(self):
+        text = (
+            self._base()
+            + 'x_seconds_bucket{le="+Inf"} 5\n'
+            + "x_seconds_sum 1\nx_seconds_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_exposition(text)
+
+    def test_parser_requires_sum(self):
+        text = (
+            self._base()
+            + 'x_seconds_bucket{le="+Inf"} 5\n'
+            + "x_seconds_count 5\n"
+        )
+        with pytest.raises(ValueError, match="_sum"):
+            parse_exposition(text)
+
+    def test_parser_requires_le_label(self):
+        text = self._base() + "x_seconds_bucket 5\n"
+        with pytest.raises(ValueError, match="le"):
+            parse_exposition(text)
+
+    def test_suffixes_only_bind_to_declared_histograms(self):
+        # a _bucket sample with no histogram TYPE is an undeclared sample
+        with pytest.raises(ValueError, match="before TYPE"):
+            parse_exposition('y_seconds_bucket{le="+Inf"} 1\n')
